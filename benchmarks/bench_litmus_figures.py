@@ -1,0 +1,37 @@
+"""Benchmark + regenerate the litmus-figure verdicts (Figs. 2, 5, 13, 14).
+
+Each benchmark times the axiomatic verdict for one paper figure under GAM
+(the checking workload a model user actually runs) and asserts the paper's
+verdict.  The full matrix across the model zoo is rendered once and saved.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.core.axiomatic import is_allowed
+from repro.eval.litmus_matrix import (
+    conformance_failures,
+    litmus_matrix,
+    render_matrix,
+)
+from repro.litmus.registry import get_test, paper_suite
+from repro.models.registry import get_model
+
+_FIGURES = [test.name for test in paper_suite()]
+
+
+@pytest.mark.parametrize("test_name", _FIGURES)
+def test_gam_verdict(benchmark, test_name):
+    test = get_test(test_name)
+    gam = get_model("gam")
+    allowed = benchmark(lambda: is_allowed(test, gam))
+    assert allowed == test.expect["gam"], f"{test_name}: verdict drifted"
+
+
+def test_full_matrix_regeneration(benchmark, results_dir):
+    cells = benchmark.pedantic(litmus_matrix, rounds=1, iterations=1)
+    assert conformance_failures(cells) == []
+    rendered = render_matrix(cells)
+    write_result(results_dir, "litmus_matrix.txt", rendered)

@@ -1,0 +1,42 @@
+"""Performance of the Figure 17 abstract-machine exploration.
+
+State-space exploration is the expensive half of the equivalence check;
+these benchmarks track its cost on representative tests and record the
+explored state counts (via ``extra_info``) so regressions in the
+eager-fetch optimization are visible.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.operational import GAM0_MACHINE, GAM_MACHINE, explore
+from repro.core.reference_machines import sc_outcomes, tso_outcomes
+from repro.litmus.registry import get_test
+
+
+@pytest.mark.parametrize("test_name", ["dekker", "lb", "mp+addr"])
+def test_explore_gam_machine(benchmark, test_name):
+    test = get_test(test_name)
+    result = benchmark(lambda: explore(test, GAM_MACHINE))
+    benchmark.extra_info["states"] = result.states_visited
+    assert result.outcomes
+
+
+def test_explore_branchy_program(benchmark):
+    test = get_test("mp+ctrl")
+    result = benchmark(lambda: explore(test, GAM_MACHINE))
+    benchmark.extra_info["states"] = result.states_visited
+    assert result.outcomes
+
+
+def test_explore_gam0_variant(benchmark):
+    test = get_test("corr")
+    result = benchmark(lambda: explore(test, GAM0_MACHINE))
+    assert len(result.outcomes) >= 3
+
+
+def test_reference_machines(benchmark):
+    test = get_test("dekker")
+    outcomes = benchmark(lambda: (sc_outcomes(test), tso_outcomes(test)))
+    assert len(outcomes[0]) == 3 and len(outcomes[1]) == 4

@@ -1,0 +1,33 @@
+"""Raw simulator throughput (uOPs per second of host time).
+
+Tracks the cost of the GEM5 stand-in across workload characters: ILP-bound
+(namd), branchy (gcc), streaming (libquantum) and memory-bound pointer
+chasing (mcf, slowest per uOP because simulated time per uOP is highest).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.core import OOOCore
+from repro.sim.policies import GAM
+from repro.workloads.generator import generate_trace
+from repro.workloads.profiles import get_profile
+
+_LENGTH = 3_000
+
+
+@pytest.mark.parametrize("workload", ["namd", "gcc.166", "libquantum", "mcf"])
+def test_simulator_throughput(benchmark, workload):
+    trace = generate_trace(get_profile(workload), length=_LENGTH, seed=1)
+    stats = benchmark.pedantic(
+        lambda: OOOCore(policy=GAM).run(trace), rounds=3, iterations=1
+    )
+    benchmark.extra_info["upc"] = round(stats.upc, 4)
+    assert stats.committed_uops == _LENGTH
+
+
+def test_trace_generation_throughput(benchmark):
+    profile = get_profile("gcc.166")
+    trace = benchmark(lambda: generate_trace(profile, length=10_000, seed=2))
+    assert len(trace) == 10_000

@@ -1,0 +1,42 @@
+"""Benchmarks for the extension harnesses: fence synthesis + strength lattice.
+
+These regenerate two derived artifacts: the minimal-fence table for the
+classic patterns (MP needs SS+LL; Dekker needs SL twice — the canonical
+"store-to-load fences are the expensive ones" result), and the measured
+model-strength matrix over the paper suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.eval.strength import render_strength, strength_matrix
+from repro.litmus.registry import get_test, paper_suite
+from repro.models.registry import get_model
+from repro.synthesis import synthesize_fences
+
+
+@pytest.mark.parametrize(
+    "test_name,expected_kinds",
+    [("mp", ["LL", "SS"]), ("dekker", ["SL", "SL"]), ("lb", ["LS", "LS"])],
+)
+def test_fence_synthesis(benchmark, test_name, expected_kinds):
+    test = get_test(test_name)
+    gam = get_model("gam")
+    result = benchmark.pedantic(
+        lambda: synthesize_fences(test, gam), rounds=1, iterations=1
+    )
+    assert result is not None
+    assert sorted(p.kind for p in result.placements) == expected_kinds
+
+
+def test_strength_lattice(benchmark, results_dir):
+    matrix = benchmark.pedantic(
+        lambda: strength_matrix(tests=list(paper_suite())),
+        rounds=1,
+        iterations=1,
+    )
+    assert matrix.chain_holds(("sc", "tso", "gam", "gam0", "alpha_like"))
+    assert matrix.is_stronger_or_equal("gam", "arm")
+    write_result(results_dir, "strength_matrix.txt", render_strength(matrix))

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Restoring SC under GAM: fences versus artificial dependencies.
+
+Walks the paper's two ordering mechanisms (Section III-D):
+
+1. message passing is broken under GAM without fences;
+2. FenceSS + FenceLL restore the intended behaviour;
+3. an *artificial* address dependency (``a + r1 - r1``, Figure 13b) is a
+   cheaper substitute for the reader-side FenceLL;
+4. a *control* dependency is NOT enough — BrSt orders stores, not loads.
+
+Run:  python examples/fence_restoration.py
+"""
+
+from repro import LitmusBuilder, get_model, is_allowed
+
+
+def check(test, label: str) -> None:
+    gam = get_model("gam")
+    verdict = "ALLOWED " if is_allowed(test, gam) else "FORBIDDEN"
+    print(f"  stale read {verdict}  -- {label}")
+
+
+def main() -> None:
+    print("Message passing under GAM (asked: r1 = 1 and stale r2 = 0):\n")
+
+    # 1. No ordering at all: the stale read is allowed.
+    b = LitmusBuilder("mp-none", locations=("a", "b"))
+    b.proc().st("a", 1).st("b", 1)
+    b.proc().ld("r1", "b").ld("r2", "a")
+    check(b.build(asked={"P1.r1": 1, "P1.r2": 0}), "no fences, no dependency")
+
+    # 2. Writer FenceSS only: still allowed (the reader reorders its loads).
+    b = LitmusBuilder("mp-ss", locations=("a", "b"))
+    b.proc().st("a", 1).fence("SS").st("b", 1)
+    b.proc().ld("r1", "b").ld("r2", "a")
+    check(b.build(asked={"P1.r1": 1, "P1.r2": 0}), "writer FenceSS only")
+
+    # 3. Writer FenceSS + reader FenceLL: forbidden.
+    b = LitmusBuilder("mp-ss-ll", locations=("a", "b"))
+    b.proc().st("a", 1).fence("SS").st("b", 1)
+    b.proc().ld("r1", "b").fence("LL").ld("r2", "a")
+    check(b.build(asked={"P1.r1": 1, "P1.r2": 0}), "FenceSS + FenceLL")
+
+    # 4. Artificial dependency instead of FenceLL (Figure 13b): forbidden,
+    #    and instructions after the dependent load are not fenced at all.
+    b = LitmusBuilder("mp-artificial", locations=("a", "b"))
+    b.proc().st("a", 1).fence("SS").st("b", 1)
+    b.proc().ld("r1", "b").op("r2", b.loc("a") + "r1" - "r1").ld("r3", "r2")
+    check(
+        b.build(asked={"P1.r1": 1, "P1.r3": 0}),
+        "FenceSS + artificial address dependency",
+    )
+
+    # 5. Control dependency: NOT enough for load-load ordering (BrSt only
+    #    orders stores after branches).
+    b = LitmusBuilder("mp-ctrl", locations=("a", "b"))
+    b.proc().st("a", 1).fence("SS").st("b", 1)
+    p1 = b.proc()
+    p1.ld("r1", "b")
+    p1.branch(("r1", "==", 0), "end")
+    p1.ld("r2", "a")
+    p1.label("end")
+    check(b.build(asked={"P1.r1": 1, "P1.r2": 0}), "control dependency (no good!)")
+
+    print()
+    print("Dekker needs the FenceSL component (store-to-load ordering):\n")
+    for fences, label in ((("SS",), "FenceSS"), (("full",), "full fence")):
+        b = LitmusBuilder("dekker-fenced", locations=("a", "b"))
+        p0 = b.proc().st("a", 1)
+        for fence in fences:
+            p0.fence(fence)
+        p0.ld("r1", "b")
+        p1 = b.proc().st("b", 1)
+        for fence in fences:
+            p1.fence(fence)
+        p1.ld("r2", "a")
+        check(b.build(asked={"P0.r1": 0, "P1.r2": 0}), label)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""The full verdict matrix for every litmus figure in the paper.
+
+Regenerates, as a table, the allow/forbid claims of Figures 2, 5, 8, 9,
+13a-d and 14a-d across the whole model zoo, flagging any disagreement with
+the paper (there are none), then prints the classic-suite matrix as a
+bonus.
+
+Run:  python examples/litmus_gallery.py
+"""
+
+from repro.eval.litmus_matrix import (
+    conformance_failures,
+    litmus_matrix,
+    render_matrix,
+)
+from repro.litmus.registry import standard_suite
+
+
+def main() -> None:
+    cells = litmus_matrix()
+    print(render_matrix(cells))
+    failures = conformance_failures(cells)
+    print()
+    if failures:
+        print(f"!! {len(failures)} verdicts disagree with the paper:")
+        for cell in failures:
+            print(f"   {cell.test_name} / {cell.model_name}")
+    else:
+        print("All verdicts match the paper.")
+
+    print()
+    print("Classic suite (not from the paper's figures):")
+    print()
+    standard_cells = litmus_matrix(tests=standard_suite())
+    print(render_matrix(standard_cells))
+    assert not conformance_failures(standard_cells)
+
+
+if __name__ == "__main__":
+    main()

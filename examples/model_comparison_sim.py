@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Section V in miniature: simulate the four models on a workload subset.
+
+Runs the out-of-order core under GAM / ARM / GAM0 / Alpha* on a handful of
+SPEC-stand-in workloads and prints the normalized-uPC table (Figure 18's
+shape), Table II (kills/stalls) and Table III (load-load forwarding).
+
+Run:  python examples/model_comparison_sim.py  [--full]
+
+``--full`` sweeps all 55 workloads (several minutes); the default subset
+finishes in under a minute.
+"""
+
+import sys
+
+from repro.eval.figure18 import render_figure18, run_figure18
+from repro.eval.table2 import render_table2, table2
+from repro.eval.table3 import render_table3, table3
+from repro.workloads.profiles import profile_names
+
+SUBSET = (
+    "mcf",
+    "gcc.166",
+    "gobmk.nngs",
+    "hmmer.retro",
+    "h264ref.frem",
+    "libquantum",
+    "namd",
+    "bwaves",
+)
+
+
+def main() -> None:
+    full = "--full" in sys.argv
+    workloads = profile_names() if full else SUBSET
+    length = 12_000 if full else 6_000
+    print(
+        f"Simulating {len(workloads)} workloads x 4 models "
+        f"({length} uOPs each)...\n"
+    )
+    result = run_figure18(workloads=workloads, trace_length=length)
+    print(render_figure18(result))
+    print()
+    print(render_table2(table2(result)))
+    print()
+    print(render_table3(table3(result)))
+    print()
+    print(
+        "Shape check vs the paper: the relaxed models' average gain over GAM\n"
+        "should be well under 1%, kills/stalls rare, and load-load forwarding\n"
+        "frequent yet useless (no L1-miss reduction)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Watch the SALdLd mechanisms fire inside the out-of-order core.
+
+Constructs a tiny adversarial uOP sequence by hand — an older same-address
+load whose address arrives late (behind a divide chain) and a younger load
+to the same address that is ready immediately — then runs it under all
+four policies and reports what each machine did: GAM kills, ARM stalls,
+GAM0 lets the reorder stand, Alpha* forwards load-to-load.
+
+Run:  python examples/pipeline_trace.py
+"""
+
+from repro.sim import ALL_POLICIES, OOOCore, Trace, Uop, UopKind
+
+
+def adversarial_trace() -> Trace:
+    """The same-address load-load hazard, distilled to nine uOPs."""
+    uops = [
+        Uop(UopKind.INT_DIV, dst=0),                      # long latency ...
+        Uop(UopKind.INT_DIV, dst=0, srcs=(0,)),           # ... chain feeding
+        Uop(UopKind.LOAD, dst=1, srcs=(0,), addr=0x200),  # older load, late address
+        Uop(UopKind.LOAD, dst=2, addr=0x200),             # younger load, ready now
+        Uop(UopKind.INT_ALU, dst=3, srcs=(2,)),           # consumer of the younger
+    ]
+    uops.extend(Uop(UopKind.INT_ALU, dst=4) for _ in range(4))
+    return Trace(name="saldld-hazard", uops=uops)
+
+
+def plain_reuse_trace() -> Trace:
+    """Benign same-address reuse: both loads ready at once."""
+    uops = [
+        Uop(UopKind.LOAD, dst=1, addr=0x300),
+        Uop(UopKind.LOAD, dst=2, addr=0x300),
+    ]
+    uops.extend(Uop(UopKind.INT_ALU, dst=3) for _ in range(4))
+    return Trace(name="benign-reuse", uops=uops)
+
+
+def report(trace: Trace) -> None:
+    print(f"trace {trace.name!r} ({len(trace)} uOPs):")
+    print(f"  {'policy':8s} {'cycles':>6s} {'kills':>6s} {'stalls':>7s} "
+          f"{'ldld fwd':>9s} {'SB fwd':>7s}")
+    for policy in ALL_POLICIES:
+        stats = OOOCore(policy=policy).run(trace)
+        print(
+            f"  {policy.name:8s} {stats.cycles:6d} {stats.saldld_kills:6d} "
+            f"{stats.saldld_stalls:7d} {stats.ldld_forwards:9d} "
+            f"{stats.sb_forwards:7d}"
+        )
+    print()
+
+
+def main() -> None:
+    report(adversarial_trace())
+    report(plain_reuse_trace())
+    print(
+        "Reading the first table: GAM squashes the younger load when the\n"
+        "older one's address finally resolves (a kill); ARM relies on its\n"
+        "weaker rf-based rule and never kills; GAM0 simply allows the\n"
+        "reorder; Alpha* instead *forwards* the older load's data once it\n"
+        "is available.  The second table shows benign reuse: nobody pays\n"
+        "anything, matching the paper's claim that SALdLd events are rare."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment ships setuptools without the ``wheel`` package, so
+PEP 660 editable wheels cannot be built; with this shim (and no
+``[build-system]`` table in pyproject.toml) ``pip install -e .`` takes the
+legacy ``setup.py develop`` path, which works offline.
+"""
+
+from setuptools import setup
+
+setup()

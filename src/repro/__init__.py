@@ -1,0 +1,60 @@
+"""repro — a reproduction of "Constructing a Weak Memory Model" (ISCA 2018).
+
+The package implements GAM (the General Atomic Memory Model) end to end:
+
+* :mod:`repro.isa` — the litmus-test instruction set;
+* :mod:`repro.litmus` — litmus infrastructure plus every test in the paper;
+* :mod:`repro.core` — GAM's axiomatic and operational definitions, the
+  construction procedure, dependency/ppo machinery and per-location SC;
+* :mod:`repro.models` — the model zoo (SC, TSO, GAM, GAM0, ARM, WMM-like,
+  Alpha-like, per-location-SC yardstick);
+* :mod:`repro.equivalence` — empirical equivalence checking of the two
+  definitions, including random-program fuzzing;
+* :mod:`repro.sim` + :mod:`repro.workloads` — the out-of-order timing
+  simulator and SPEC-like synthetic workloads behind the paper's
+  performance evaluation (Figure 18, Tables II-III);
+* :mod:`repro.eval` — harnesses that regenerate each table and figure.
+
+Quickstart::
+
+    from repro import get_test, get_model, is_allowed
+    test = get_test("dekker")
+    assert is_allowed(test, get_model("gam"))       # weak model allows
+    assert not is_allowed(test, get_model("sc"))    # SC forbids
+"""
+
+from .core.axiomatic import enumerate_executions, enumerate_outcomes, is_allowed
+from .core.construction import assemble, derivation_chain
+from .core.operational import (
+    GAM0_MACHINE,
+    GAM_MACHINE,
+    explore,
+    operational_allows,
+    operational_outcomes,
+)
+from .litmus import LitmusBuilder, LitmusTest, Outcome, all_tests, get_test
+from .models import comparison_models, get_model, model_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "get_test",
+    "all_tests",
+    "LitmusTest",
+    "LitmusBuilder",
+    "Outcome",
+    "get_model",
+    "model_names",
+    "comparison_models",
+    "is_allowed",
+    "enumerate_outcomes",
+    "enumerate_executions",
+    "assemble",
+    "derivation_chain",
+    "explore",
+    "operational_outcomes",
+    "operational_allows",
+    "GAM_MACHINE",
+    "GAM0_MACHINE",
+]

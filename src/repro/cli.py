@@ -1,0 +1,370 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list {tests|models|workloads}`` — catalogue contents;
+* ``show TEST`` — print a litmus test's programs and asked outcome;
+* ``check TEST [-m MODEL] [--operational]`` — allowed or forbidden?
+* ``outcomes TEST [-m MODEL] [--full]`` — enumerate the outcome set;
+* ``witness TEST [-m MODEL]`` — a concrete ``<mo, rf>`` for the outcome;
+* ``diff TEST WEAKER STRONGER`` — outcome-set difference of two models;
+* ``matrix [--suite {paper,standard,all}]`` — the verdict matrix;
+* ``equiv [TEST ...]`` — axiomatic-vs-operational agreement;
+* ``synth TEST [-m MODEL]`` — minimal fences restoring SC;
+* ``strength [--suite ...]`` — the measured model-strength lattice;
+* ``sim [--workloads ...] [--length N] [--checkpoints K]`` — Figure 18 +
+  Tables II/III.
+
+Every command prints plain text and exits non-zero on a failed check, so
+the CLI composes with shell scripts and CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GAM memory-model reproduction (ISCA 2018) toolbox.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    list_cmd = sub.add_parser("list", help="list catalogue contents")
+    list_cmd.add_argument(
+        "what",
+        choices=("tests", "models", "workloads"),
+        help="which catalogue to list",
+    )
+
+    show = sub.add_parser("show", help="print a litmus test")
+    show.add_argument("test", help="litmus test name")
+
+    check = sub.add_parser("check", help="is the asked outcome allowed?")
+    check.add_argument("test", help="litmus test name")
+    check.add_argument("-m", "--model", default="gam", help="memory model name")
+    check.add_argument(
+        "--operational",
+        action="store_true",
+        help="use the abstract machine instead of the axioms (gam/gam0 only)",
+    )
+
+    outcomes = sub.add_parser("outcomes", help="enumerate allowed outcomes")
+    outcomes.add_argument("test", help="litmus test name")
+    outcomes.add_argument("-m", "--model", default="gam", help="memory model name")
+    outcomes.add_argument(
+        "--full", action="store_true", help="project onto all registers"
+    )
+
+    witness = sub.add_parser(
+        "witness", help="show an execution witnessing the asked outcome"
+    )
+    witness.add_argument("test", help="litmus test name")
+    witness.add_argument("-m", "--model", default="gam", help="memory model name")
+
+    diff = sub.add_parser("diff", help="outcome-set difference of two models")
+    diff.add_argument("test", help="litmus test name")
+    diff.add_argument("weaker", help="the (expectedly) weaker model")
+    diff.add_argument("stronger", help="the (expectedly) stronger model")
+
+    matrix = sub.add_parser("matrix", help="verdict matrix across the model zoo")
+    matrix.add_argument(
+        "--suite",
+        choices=("paper", "standard", "all"),
+        default="paper",
+        help="which test suite to evaluate",
+    )
+
+    equiv = sub.add_parser("equiv", help="axiomatic vs operational agreement")
+    equiv.add_argument("tests", nargs="*", help="test names (default: paper suite)")
+    equiv.add_argument(
+        "--pairs",
+        default="gam,gam0",
+        help="comma-separated definition pairs (gam,gam0,sc,tso)",
+    )
+
+    synth = sub.add_parser(
+        "synth", help="synthesize minimal fences restoring SC"
+    )
+    synth.add_argument("test", help="litmus test name")
+    synth.add_argument("-m", "--model", default="gam", help="weak model name")
+    synth.add_argument(
+        "--max-fences", type=int, default=3, help="search bound on fence count"
+    )
+
+    strength = sub.add_parser(
+        "strength", help="measure the model-strength lattice"
+    )
+    strength.add_argument(
+        "--suite",
+        choices=("paper", "standard", "all"),
+        default="paper",
+        help="which test suite to measure over",
+    )
+
+    sim = sub.add_parser("sim", help="run the Section V evaluation")
+    sim.add_argument(
+        "--workloads",
+        default="mcf,gcc.166,hmmer.retro,namd",
+        help="comma-separated workload names, or 'all'",
+    )
+    sim.add_argument("--length", type=int, default=6000, help="uOPs per workload")
+    sim.add_argument("--seed", type=int, default=1, help="trace seed")
+    sim.add_argument(
+        "--checkpoints",
+        type=int,
+        default=1,
+        help="independent trace samples per workload (paper: 10)",
+    )
+    return parser
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    if args.what == "tests":
+        from .litmus.registry import all_tests
+
+        for test in all_tests():
+            source = f" ({test.source})" if test.source else ""
+            print(f"{test.name:24s}{source} {test.description}")
+    elif args.what == "models":
+        from .models.registry import get_model, model_names
+
+        for name in model_names():
+            model = get_model(name)
+            print(f"{name:12s} {model.description}")
+    else:
+        from .workloads.profiles import PROFILES
+
+        for name, profile in sorted(PROFILES.items()):
+            print(
+                f"{name:18s} ld={profile.load_frac:.2f} st={profile.store_frac:.2f} "
+                f"br={profile.branch_frac:.2f} ws={profile.working_set_kb}KB"
+            )
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    from .litmus.registry import get_test
+
+    print(get_test(args.test))
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from .litmus.registry import get_test
+
+    test = get_test(args.test)
+    if test.asked is None:
+        print(f"test {test.name!r} has no asked outcome")
+        return 2
+    if args.operational:
+        from .core.operational import GAM0_MACHINE, GAM_MACHINE, operational_allows
+
+        machines = {"gam": GAM_MACHINE, "gam0": GAM0_MACHINE}
+        if args.model not in machines:
+            print(f"--operational supports models: {', '.join(machines)}")
+            return 2
+        allowed = operational_allows(test, machines[args.model])
+        definition = "abstract machine"
+    else:
+        from .core.axiomatic import is_allowed
+        from .models.registry import get_model
+
+        allowed = is_allowed(test, get_model(args.model))
+        definition = "axioms"
+    verdict = "ALLOWED" if allowed else "FORBIDDEN"
+    print(f"{test.name}: {test.asked} is {verdict} under {args.model} ({definition})")
+    expected = test.expect.get(args.model)
+    if expected is not None and expected != allowed:
+        print("WARNING: this contradicts the paper's stated verdict!")
+        return 1
+    return 0
+
+
+def _cmd_outcomes(args: argparse.Namespace) -> int:
+    from .core.axiomatic import enumerate_outcomes
+    from .litmus.registry import get_test
+    from .models.registry import get_model
+
+    test = get_test(args.test)
+    project = "full" if args.full else "observed"
+    outcomes = enumerate_outcomes(test, get_model(args.model), project=project)
+    for outcome in sorted(outcomes, key=str):
+        print(f"  {outcome}")
+    print(f"{len(outcomes)} outcome(s) under {args.model}")
+    return 0
+
+
+def _cmd_witness(args: argparse.Namespace) -> int:
+    from .analysis import find_witness, render_execution
+    from .litmus.registry import get_test
+    from .models.registry import get_model
+
+    test = get_test(args.test)
+    witness = find_witness(test, get_model(args.model))
+    if witness is None:
+        print(
+            f"{test.name}: no witness — {args.model} forbids {test.asked} "
+            "(no memory order satisfies the axioms)"
+        )
+        return 1
+    print(render_execution(test, witness))
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from .analysis import render_diff
+    from .litmus.registry import get_test
+    from .models.registry import get_model
+
+    print(
+        render_diff(
+            get_test(args.test),
+            get_model(args.weaker),
+            get_model(args.stronger),
+        )
+    )
+    return 0
+
+
+def _cmd_matrix(args: argparse.Namespace) -> int:
+    from .eval.litmus_matrix import (
+        conformance_failures,
+        litmus_matrix,
+        render_matrix,
+    )
+    from .litmus.registry import all_tests, paper_suite, standard_suite
+
+    suites = {
+        "paper": paper_suite,
+        "standard": standard_suite,
+        "all": all_tests,
+    }
+    cells = litmus_matrix(tests=suites[args.suite]())
+    print(render_matrix(cells))
+    failures = conformance_failures(cells)
+    if failures:
+        print(f"{len(failures)} verdicts disagree with the paper")
+        return 1
+    print("all verdicts agree with the paper")
+    return 0
+
+
+def _cmd_equiv(args: argparse.Namespace) -> int:
+    from .equivalence.checker import check_pair
+    from .litmus.registry import get_test, paper_suite
+
+    pair_names = [p.strip() for p in args.pairs.split(",") if p.strip()]
+    tests = (
+        [get_test(name) for name in args.tests]
+        if args.tests
+        else list(paper_suite())
+    )
+    status = 0
+    for test in tests:
+        for pair in pair_names:
+            report = check_pair(test, pair)
+            mark = "ok " if report.equivalent else "DIFF"
+            print(
+                f"{mark} {test.name:24s} {pair:5s} "
+                f"|axiomatic|={len(report.axiomatic)} "
+                f"|machine|={len(report.operational)}"
+            )
+            if not report.equivalent:
+                status = 1
+    return status
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    from .litmus.registry import get_test
+    from .models.registry import get_model
+    from .synthesis import synthesize_fences
+
+    test = get_test(args.test)
+    result = synthesize_fences(
+        test, get_model(args.model), max_fences=args.max_fences
+    )
+    if result is None:
+        print(
+            f"{test.name}: no fence plan with <= {args.max_fences} fences "
+            f"restores SC under {args.model}"
+        )
+        return 1
+    if not result.placements:
+        print(f"{test.name}: already SC under {args.model}; no fences needed")
+        return 0
+    print(f"{test.name}: minimal plan ({len(result.placements)} fences, "
+          f"{result.plans_checked} plans checked):")
+    for placement in result.placements:
+        print(f"  {placement}")
+    return 0
+
+
+def _cmd_strength(args: argparse.Namespace) -> int:
+    from .eval.strength import render_strength, strength_matrix
+    from .litmus.registry import all_tests, paper_suite, standard_suite
+
+    suites = {"paper": paper_suite, "standard": standard_suite, "all": all_tests}
+    matrix = strength_matrix(tests=suites[args.suite]())
+    print(render_strength(matrix))
+    return 0
+
+
+def _cmd_sim(args: argparse.Namespace) -> int:
+    from .eval.figure18 import render_figure18, run_figure18
+    from .eval.table2 import render_table2, table2
+    from .eval.table3 import render_table3, table3
+    from .workloads.profiles import profile_names
+
+    if args.workloads == "all":
+        workloads: Sequence[str] = profile_names()
+    else:
+        workloads = [w.strip() for w in args.workloads.split(",") if w.strip()]
+    result = run_figure18(
+        workloads=workloads,
+        trace_length=args.length,
+        seed=args.seed,
+        checkpoints=args.checkpoints,
+    )
+    print(render_figure18(result))
+    print()
+    print(render_table2(table2(result)))
+    print()
+    print(render_table3(table3(result)))
+    return 0
+
+
+_COMMANDS = {
+    "list": _cmd_list,
+    "show": _cmd_show,
+    "check": _cmd_check,
+    "outcomes": _cmd_outcomes,
+    "witness": _cmd_witness,
+    "diff": _cmd_diff,
+    "matrix": _cmd_matrix,
+    "equiv": _cmd_equiv,
+    "synth": _cmd_synth,
+    "strength": _cmd_strength,
+    "sim": _cmd_sim,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit status."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,676 @@
+"""The axiomatic checking engine (Section IV-A made executable).
+
+Given a litmus test and a :class:`MemoryModel`, the engine enumerates every
+execution ``<po, mo, rf>`` satisfying the model's axioms:
+
+1. **Candidate load values.**  A closed value domain is computed
+   (:func:`value_domain`); each processor's program is replayed under every
+   assignment of domain values to its loads, which fixes addresses, store
+   data and branch paths (``<po`` is the replayed stream).
+2. **Memory orders.**  The static ppo clauses are evaluated per processor
+   and projected onto memory events; every topological order of the
+   resulting DAG is a candidate ``<mo`` (axiom InstOrder holds by
+   construction).  During enumeration each load's value is derived from the
+   LoadValue axiom incrementally and mismatching prefixes are pruned.
+3. **Post-checks.**  Execution-dependent clauses (ARM's SALdLdARM) and the
+   per-location-SC side condition are verified against the completed
+   execution; survivors are yielded as :class:`~repro.core.events.Execution`.
+
+The engine is exact (sound and complete) for the model classes in this
+repository because every static clause edge goes forward in program order
+(so the per-processor projection is acyclic) and every model orders
+same-address stores by program order (so load values are determined as soon
+as the load is placed — see :func:`_place_load_value`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Optional, Sequence
+
+from ..isa.expr import Const, evaluate, registers_read
+from ..isa.instructions import (
+    Branch,
+    Fence,
+    Instruction,
+    Load,
+    Nop,
+    RegOp,
+    Rmw,
+    Store,
+)
+from ..isa.program import Program, ProgramRun
+from ..litmus.test import LitmusTest, Outcome
+from .events import (
+    EventId,
+    Execution,
+    MemEvent,
+    build_events,
+    init_events,
+    store_part,
+)
+from .ppo import Clause, DynamicClause, PpoContext, compute_ppo, project_to_memory
+
+__all__ = [
+    "MemoryModel",
+    "DomainOverflowError",
+    "ValueDomains",
+    "value_domain",
+    "value_domains",
+    "enumerate_executions",
+    "enumerate_outcomes",
+    "is_allowed",
+    "project_outcome",
+]
+
+_DOMAIN_CAP = 64
+_COMBO_CAP = 4096
+
+
+class DomainOverflowError(RuntimeError):
+    """Raised when a test's candidate value domain exceeds the safety cap.
+
+    Litmus tests have tiny domains; hitting this means the input is not a
+    litmus-style program and explicit enumeration is the wrong tool.
+    """
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    """An axiomatic memory model: ppo clauses plus a load-value axiom.
+
+    Attributes:
+        name: registry key (``"gam"``, ``"sc"``...).
+        clauses: static ppo clauses (cases of Definition 6).
+        dynamic_clauses: execution-dependent clauses (ARM's SALdLdARM).
+        load_value: ``"gam"`` for the LoadValueGAM axiom (the youngest
+            same-address store earlier in ``<mo`` *or* local ``<po``), or
+            ``"sc"`` for LoadValueSC (``<mo`` only, Figure 3).
+        requires_coherence: if True, executions must additionally be
+            per-location sequentializable (used by the ``plsc`` yardstick).
+        description: one-line summary for reports.
+    """
+
+    name: str
+    clauses: tuple[Clause, ...]
+    dynamic_clauses: tuple[DynamicClause, ...] = ()
+    load_value: str = "gam"
+    requires_coherence: bool = False
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.load_value not in ("gam", "sc"):
+            raise ValueError(f"unknown load-value axiom {self.load_value!r}")
+        if not self._orders_same_address_stores():
+            raise ValueError(
+                f"model {self.name!r} must order same-address stores by program "
+                "order (include SAMemSt or OrderSS); the enumeration engine "
+                "relies on it and so does single-thread correctness"
+            )
+
+    def _orders_same_address_stores(self) -> bool:
+        return any(c.name in ("SAMemSt", "OrderSS") for c in self.clauses)
+
+    def clause_names(self) -> tuple[str, ...]:
+        """Names of all clauses, static then dynamic."""
+        return tuple(c.name for c in self.clauses) + tuple(
+            c.name for c in self.dynamic_clauses
+        )
+
+    def __repr__(self) -> str:
+        return f"<MemoryModel {self.name}: {', '.join(self.clause_names())}>"
+
+
+@dataclass(frozen=True)
+class ValueDomains:
+    """Per-address over-approximations of load-returnable values.
+
+    ``by_addr[a]`` holds values known storable at the statically-addressed
+    location ``a`` (plus its initial value); ``wild`` holds values that may
+    land anywhere (stores through computed addresses, asked-outcome values,
+    and 0 for untouched memory).  A load from address ``a`` can only return
+    ``by_addr.get(a, ()) | wild``.
+    """
+
+    by_addr: Mapping[int, frozenset[int]]
+    wild: frozenset[int]
+
+    def for_address(self, addr: int) -> frozenset[int]:
+        """Candidate values for a load of ``addr``."""
+        return self.by_addr.get(addr, frozenset()) | self.wild
+
+    def everything(self) -> frozenset[int]:
+        """The flat union (used when a load's address set is unknown)."""
+        union = set(self.wild)
+        for values in self.by_addr.values():
+            union |= values
+        return frozenset(union)
+
+
+def value_domains(
+    test: LitmusTest,
+    extra: Iterable[int] = (),
+    cap: int = _DOMAIN_CAP,
+) -> ValueDomains:
+    """Compute per-address value domains by abstract interpretation.
+
+    Each program is repeatedly walked with register possible-sets (control
+    flow ignored, so the result over-approximates): loads draw from their
+    address's current domain when the address is a constant, else from the
+    flat union; store data lands in the target address's domain (or in
+    ``wild`` for computed addresses).  Iteration stops at a fixed point or
+    raises :class:`DomainOverflowError` beyond ``cap`` values — which can
+    only happen for non-litmus-style programs with arithmetic feedback.
+    """
+    wild: set[int] = {0}
+    wild.update(extra)
+    if test.asked is not None:
+        wild.update(v for _, _, v in test.asked.regs)
+        wild.update(v for _, v in test.asked.mem)
+    by_addr: dict[int, set[int]] = {
+        addr: {value} for addr, value in test.initial_memory.items()
+    }
+
+    # Every store instruction executes at most once (programs are loop
+    # free), so any load-returnable value is derived through at most
+    # ``total_stores`` store executions; that many closure rounds suffice
+    # even when the abstract feedback (e.g. a fetch-and-add) never reaches
+    # a fixed point.
+    total_stores = sum(
+        1 for program in test.programs for instr in program if instr.is_store
+    )
+    for _round in range(total_stores + 1):
+        changed = False
+        flat = set(wild)
+        for values in by_addr.values():
+            flat |= values
+        for program in test.programs:
+            for addr, value in _producible_stores(program, by_addr, wild, flat):
+                if addr is None:
+                    if value not in wild:
+                        wild.add(value)
+                        changed = True
+                elif value not in by_addr.setdefault(addr, set()):
+                    by_addr[addr].add(value)
+                    changed = True
+        total = len(wild) + sum(len(v) for v in by_addr.values())
+        if total > cap:
+            raise DomainOverflowError(
+                f"value domain exceeded {cap} values for test {test.name!r}"
+            )
+        if not changed:
+            break
+    return ValueDomains(
+        by_addr={addr: frozenset(v) for addr, v in by_addr.items()},
+        wild=frozenset(wild),
+    )
+
+
+def value_domain(
+    test: LitmusTest,
+    extra: Iterable[int] = (),
+    cap: int = _DOMAIN_CAP,
+) -> frozenset[int]:
+    """The flat union of :func:`value_domains` (compatibility helper)."""
+    return value_domains(test, extra, cap).everything()
+
+
+def _producible_stores(
+    program: Program,
+    by_addr: Mapping[int, set[int]],
+    wild: set[int],
+    flat: set[int],
+) -> Iterator[tuple[Optional[int], int]]:
+    """Yield ``(static address or None, data value)`` a program can store."""
+    possible: dict[str, set[int]] = {reg: {0} for reg in program.registers()}
+    for instr in program:
+        if isinstance(instr, Rmw):
+            # The load half fills dst; the store half writes data(dst).
+            if isinstance(instr.addr, Const):
+                addr = instr.addr.value
+                possible[instr.dst] = set(by_addr.get(addr, set())) | wild
+            else:
+                possible[instr.dst] = set(flat)
+            data_values = _eval_over(instr.data, possible)
+            if isinstance(instr.addr, Const):
+                for value in data_values:
+                    yield instr.addr.value, value
+            else:
+                for value in data_values:
+                    yield None, value
+        elif isinstance(instr, Load):
+            if isinstance(instr.addr, Const):
+                addr = instr.addr.value
+                possible[instr.dst] = set(by_addr.get(addr, set())) | wild
+            else:
+                possible[instr.dst] = set(flat)
+        elif isinstance(instr, RegOp):
+            possible[instr.dst] = _eval_over(instr.expr, possible)
+        elif isinstance(instr, Store):
+            data_values = _eval_over(instr.data, possible)
+            if isinstance(instr.addr, Const):
+                for value in data_values:
+                    yield instr.addr.value, value
+            else:
+                for value in data_values:
+                    yield None, value
+
+
+def _eval_over(expr, possible: Mapping[str, set[int]]) -> set[int]:
+    """Evaluate ``expr`` over the cartesian product of register possible-sets."""
+    regs = sorted(registers_read(expr))
+    combos = 1
+    for reg in regs:
+        combos *= max(1, len(possible.get(reg, {0})))
+        if combos > _COMBO_CAP:
+            raise DomainOverflowError("register possible-set product too large")
+    results: set[int] = set()
+    for values in itertools.product(*(sorted(possible.get(r, {0})) for r in regs)):
+        results.add(evaluate(expr, dict(zip(regs, values))))
+    return results
+
+
+def _enumerate_runs(
+    program: Program,
+    domains: ValueDomains,
+) -> list[ProgramRun]:
+    """Replay ``program`` under every assignment of domain values to loads.
+
+    Branches are resolved during replay, so only loads that actually execute
+    consume a domain choice, and each load's candidates come from its
+    *resolved address's* domain (the address is always known by the time the
+    replay reaches the load).
+    """
+    runs: list[ProgramRun] = []
+
+    def walk(assignment: dict[int, int]) -> None:
+        try:
+            run = program.execute({**assignment})
+        except KeyError:
+            # Some executed load lacks a value: find it and branch on it.
+            run = None
+        if run is not None:
+            runs.append(run)
+            return
+        next_load, addr = _first_unassigned_load(program, assignment)
+        for value in sorted(domains.for_address(addr)):
+            assignment[next_load] = value
+            walk(assignment)
+            del assignment[next_load]
+
+    walk({})
+    return runs
+
+
+def _first_unassigned_load(
+    program: Program, assignment: dict[int, int]
+) -> tuple[int, int]:
+    """Replay to the first unassigned load; return its index and address."""
+    regs = {name: 0 for name in program.registers()}
+    pc = 0
+    while pc < len(program):
+        instr = program[pc]
+        next_pc = pc + 1
+        if isinstance(instr, (Load, Rmw)):
+            if pc not in assignment:
+                return pc, evaluate(instr.addr, regs)
+            regs[instr.dst] = assignment[pc]
+        elif isinstance(instr, RegOp):
+            regs[instr.dst] = evaluate(instr.expr, regs)
+        elif isinstance(instr, Branch):
+            if evaluate(instr.cond, regs) != 0:
+                next_pc = program.labels[instr.target]
+        pc = next_pc
+    raise AssertionError("program completed without an unassigned load")
+
+
+@dataclass
+class _Candidate:
+    """One candidate execution before a memory order is chosen."""
+
+    runs: tuple[ProgramRun, ...]
+    events: tuple[MemEvent, ...]
+    inits: tuple[MemEvent, ...]
+    contexts: tuple[PpoContext, ...]
+    mem_edges: frozenset[tuple[EventId, EventId]]
+    po_stores: Mapping[EventId, tuple[MemEvent, ...]]
+    event_by_id: Mapping[EventId, MemEvent]
+    rmw_pairs: Mapping[EventId, EventId]  # load-half id -> store-half id
+    no_forward: frozenset[EventId]  # loads barred from program-order forwarding
+
+    def src_eid(self, proc: int, index: int) -> EventId:
+        """Event id carrying an instruction's *finish* time (RMW: store half)."""
+        candidate = (proc, store_part(index))
+        if candidate in self.event_by_id:
+            return candidate
+        return (proc, index)
+
+
+def _prepare_candidate(
+    test: LitmusTest,
+    runs: tuple[ProgramRun, ...],
+    model: MemoryModel,
+) -> Optional[_Candidate]:
+    """Build events, contexts and the static-ppo DAG; prune impossible values.
+
+    Returns ``None`` when some load's assigned value cannot come from any
+    store to its address (nor from the initial memory) — a cheap necessary
+    condition for the LoadValue axiom.
+    """
+    events = build_events(runs)
+    inits = init_events(events, test.initial_memory)
+    storable: dict[int, set[int]] = {}
+    for event in itertools.chain(inits, events):
+        if event.is_store:
+            storable.setdefault(event.addr, set()).add(event.value)
+    for event in events:
+        if not event.is_store and event.value not in storable.get(event.addr, set()):
+            return None
+
+    by_id = {e.eid: e for e in itertools.chain(inits, events)}
+    rmw_pairs: dict[EventId, EventId] = {}
+    no_forward: set[EventId] = set()
+    for proc, run in enumerate(runs):
+        for executed in run.memory_accesses():
+            instr = executed.instr
+            if instr.is_load and instr.is_store:
+                load_eid = (proc, executed.index)
+                rmw_pairs[load_eid] = (proc, store_part(executed.index))
+                no_forward.add(load_eid)
+
+    contexts = tuple(PpoContext.from_run(run) for run in runs)
+    candidate = _Candidate(
+        runs=runs,
+        events=events,
+        inits=inits,
+        contexts=contexts,
+        mem_edges=frozenset(),
+        po_stores={},
+        event_by_id=by_id,
+        rmw_pairs=rmw_pairs,
+        no_forward=frozenset(no_forward),
+    )
+
+    mem_edges: set[tuple[EventId, EventId]] = set()
+    for proc, ctx in enumerate(contexts):
+        ppo = compute_ppo(ctx, model.clauses)
+        for a, b in project_to_memory(ctx, ppo):
+            mem_edges.add((candidate.src_eid(proc, a), (proc, b)))
+
+    po_stores: dict[EventId, tuple[MemEvent, ...]] = {}
+    for proc, run in enumerate(runs):
+        seen_stores: list[MemEvent] = []
+        for executed in run.memory_accesses():
+            instr = executed.instr
+            eid = (proc, executed.index)
+            if instr.is_load:
+                po_stores[eid] = tuple(
+                    s for s in seen_stores if s.addr == executed.addr
+                )
+            if instr.is_store:
+                store_eid = (
+                    (proc, store_part(executed.index))
+                    if instr.is_load
+                    else eid
+                )
+                seen_stores.append(by_id[store_eid])
+
+    return _Candidate(
+        runs=runs,
+        events=events,
+        inits=inits,
+        contexts=contexts,
+        mem_edges=frozenset(mem_edges),
+        po_stores=po_stores,
+        event_by_id=by_id,
+        rmw_pairs=rmw_pairs,
+        no_forward=frozenset(no_forward),
+    )
+
+
+def _orders_with_load_values(
+    candidate: _Candidate,
+    load_value_mode: str,
+) -> Iterator[tuple[tuple[EventId, ...], dict[EventId, EventId]]]:
+    """Yield ``(mo, rf)`` for every topological order with consistent loads.
+
+    The incremental LoadValue check: when a load is placed, its value is
+    already determined — either the youngest *unplaced* program-order-earlier
+    same-address store (which, by store coherence, will be the
+    memory-order-youngest candidate), or the latest placed store to the
+    address.  Mismatches prune the whole subtree.
+
+    An RMW's two halves form one composite placement unit keyed by the load
+    half: the load half's value is checked against the latest placed store,
+    then the store half is placed immediately after, which realizes the
+    "executes by accessing the memory system at one instant" semantics of
+    Section III-C (atomicity holds because nothing intervenes in ``<mo``).
+    """
+    pairs = candidate.rmw_pairs
+    folded = set(pairs.values())
+    nodes = [e.eid for e in candidate.events if e.eid not in folded]
+    node_of = {eid: eid for eid in nodes}
+    for load_eid, store_eid in pairs.items():
+        node_of[store_eid] = load_eid
+    succs: dict[EventId, list[EventId]] = {eid: [] for eid in nodes}
+    indegree: dict[EventId, int] = {eid: 0 for eid in nodes}
+    for a, b in candidate.mem_edges:
+        node_a, node_b = node_of[a], node_of[b]
+        if node_a != node_b:
+            succs[node_a].append(node_b)
+            indegree[node_b] += 1
+
+    last_store: dict[int, MemEvent] = {e.addr: e for e in candidate.inits}
+    placed: list[EventId] = []
+    placed_nodes: set[EventId] = set()
+    placed_stores: set[EventId] = set()
+    rf: dict[EventId, EventId] = {}
+
+    def determined_value(event: MemEvent) -> tuple[int, EventId]:
+        if load_value_mode == "gam" and event.eid not in candidate.no_forward:
+            for store in reversed(candidate.po_stores.get(event.eid, ())):
+                if store.eid not in placed_stores:
+                    return store.value, store.eid
+                break  # the youngest program-order store is already placed
+        source = last_store[event.addr]
+        return source.value, source.eid
+
+    def place_events(node: EventId) -> Optional[list[tuple[MemEvent, object]]]:
+        """Place the node's event(s); None means a load value mismatched."""
+        undo: list[tuple[MemEvent, object]] = []
+        event = candidate.event_by_id[node]
+        if event.is_store:
+            undo.append((event, last_store.get(event.addr)))
+            last_store[event.addr] = event
+            placed_stores.add(event.eid)
+            placed.append(event.eid)
+            return undo
+        value, source = determined_value(event)
+        if value != event.value:
+            return None
+        rf[node] = source
+        placed.append(node)
+        undo.append((event, None))
+        store_eid = pairs.get(node)
+        if store_eid is not None:
+            store_event = candidate.event_by_id[store_eid]
+            undo.append((store_event, last_store.get(store_event.addr)))
+            last_store[store_event.addr] = store_event
+            placed_stores.add(store_eid)
+            placed.append(store_eid)
+        return undo
+
+    def unplace_events(node: EventId, undo: list[tuple[MemEvent, object]]) -> None:
+        for event, saved in reversed(undo):
+            placed.pop()
+            if event.is_store:
+                placed_stores.discard(event.eid)
+                if saved is None:
+                    last_store.pop(event.addr, None)
+                else:
+                    last_store[event.addr] = saved
+            else:
+                rf.pop(event.eid, None)
+
+    def backtrack() -> Iterator[tuple[tuple[EventId, ...], dict[EventId, EventId]]]:
+        if len(placed_nodes) == len(nodes):
+            init_order = tuple(e.eid for e in candidate.inits)
+            yield init_order + tuple(placed), dict(rf)
+            return
+        ready = [
+            eid for eid in nodes if eid not in placed_nodes and indegree[eid] == 0
+        ]
+        for node in ready:
+            undo = place_events(node)
+            if undo is None:
+                continue
+            placed_nodes.add(node)
+            for succ in succs[node]:
+                indegree[succ] -= 1
+            yield from backtrack()
+            for succ in succs[node]:
+                indegree[succ] += 1
+            placed_nodes.remove(node)
+            unplace_events(node, undo)
+
+    yield from backtrack()
+
+
+def _dynamic_clauses_hold(
+    candidate: _Candidate,
+    model: MemoryModel,
+    mo: tuple[EventId, ...],
+    rf: Mapping[EventId, EventId],
+) -> bool:
+    """Post-check execution-dependent ppo clauses against a completed order.
+
+    Recomputes the full (static + dynamic) transitive ppo per processor and
+    requires every memory-to-memory edge to agree with ``mo``.
+    """
+    if not model.dynamic_clauses:
+        return True
+    position = {eid: i for i, eid in enumerate(mo)}
+    for proc, ctx in enumerate(candidate.contexts):
+        rf_local = {
+            index: rf[(proc, index)]
+            for (p, index) in rf
+            if p == proc
+        }
+        ppo = compute_ppo(ctx, model.clauses, model.dynamic_clauses, rf_local)
+        for a, b in project_to_memory(ctx, ppo):
+            if position[candidate.src_eid(proc, a)] >= position[(proc, b)]:
+                return False
+    return True
+
+
+def _final_memory(
+    candidate: _Candidate,
+    mo: tuple[EventId, ...],
+) -> dict[int, int]:
+    """Final memory: the memory-order-youngest store per address."""
+    final: dict[int, int] = {}
+    for eid in mo:
+        event = candidate.event_by_id[eid]
+        if event.is_store:
+            final[event.addr] = event.value
+    return final
+
+
+def enumerate_executions(
+    test: LitmusTest,
+    model: MemoryModel,
+    extra_values: Iterable[int] = (),
+) -> Iterator[Execution]:
+    """Yield every execution of ``test`` the model's axioms allow."""
+    from .perloc_sc import execution_is_per_location_sc  # cycle-free import
+
+    domains = value_domains(test, extra_values)
+    per_proc = [_enumerate_runs(program, domains) for program in test.programs]
+    for combo in itertools.product(*per_proc):
+        candidate = _prepare_candidate(test, tuple(combo), model)
+        if candidate is None:
+            continue
+        for mo, rf in _orders_with_load_values(candidate, model.load_value):
+            if not _dynamic_clauses_hold(candidate, model, mo, rf):
+                continue
+            final_regs = {
+                (proc, reg): value
+                for proc, run in enumerate(candidate.runs)
+                for reg, value in run.final_regs.items()
+            }
+            execution = Execution(
+                runs=candidate.runs,
+                events=candidate.events,
+                inits=candidate.inits,
+                mo=mo,
+                rf=rf,
+                final_regs=final_regs,
+                final_mem=_final_memory(candidate, mo),
+            )
+            if model.requires_coherence and not execution_is_per_location_sc(execution):
+                continue
+            yield execution
+
+
+def project_outcome(
+    test: LitmusTest,
+    final_regs: Mapping[tuple[int, str], int],
+    final_mem: Mapping[int, int],
+    project: str = "observed",
+) -> Outcome:
+    """Project a final state onto an :class:`Outcome` for set comparisons.
+
+    ``project="observed"`` keeps the registers the test declares interesting
+    (falling back to all registers when none are declared);
+    ``project="full"`` keeps every register.  Named locations' final values
+    are always included, so memory-constrained outcomes compare correctly.
+    """
+    if project not in ("observed", "full"):
+        raise ValueError(f"unknown projection {project!r}")
+    keep = test.observed if (project == "observed" and test.observed) else None
+    regs = frozenset(
+        (proc, reg, value)
+        for (proc, reg), value in final_regs.items()
+        if keep is None or (proc, reg) in keep
+    )
+    mem = frozenset(
+        (addr, final_mem.get(addr, test.initial_memory.get(addr, 0)))
+        for addr in test.locations.values()
+    )
+    return Outcome(regs=regs, mem=mem)
+
+
+def enumerate_outcomes(
+    test: LitmusTest,
+    model: MemoryModel,
+    extra_values: Iterable[int] = (),
+    project: str = "observed",
+) -> frozenset[Outcome]:
+    """The set of allowed outcomes, projected per :func:`project_outcome`."""
+    outcomes: set[Outcome] = set()
+    for execution in enumerate_executions(test, model, extra_values):
+        outcomes.add(
+            project_outcome(test, execution.final_regs, execution.final_mem, project)
+        )
+    return frozenset(outcomes)
+
+
+def is_allowed(
+    test: LitmusTest,
+    model: MemoryModel,
+    outcome: Optional[Outcome] = None,
+    extra_values: Iterable[int] = (),
+) -> bool:
+    """Does the model allow ``outcome`` (default: the test's asked outcome)?"""
+    if outcome is None:
+        outcome = test.asked
+    if outcome is None:
+        raise ValueError(f"test {test.name!r} has no asked outcome")
+    extra = set(extra_values)
+    extra.update(v for _, _, v in outcome.regs)
+    extra.update(v for _, v in outcome.mem)
+    for execution in enumerate_executions(test, model, extra):
+        if outcome.matches(execution.final_regs, execution.final_mem):
+            return True
+    return False

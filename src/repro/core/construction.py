@@ -1,0 +1,226 @@
+"""The construction procedure of Section III as a model factory.
+
+The paper derives GAM in three steps:
+
+1. **Uniprocessor constraints** (Figure 7): SAMemSt, SAStLd, RegRAW, BrSt,
+   AddrSt — what an aggressive OOO core must preserve anyway.
+2. **Multiprocessor lift** (Figure 11): LMOrd and LdVal — these are not ppo
+   clauses but the InstOrder/LoadValue axioms the engine itself implements.
+3. **Programmability** (Figures 12, Section III-E): FenceOrd yields GAM0;
+   adding SALdLd (per-location SC) yields GAM.
+
+:func:`assemble` exposes the same decision points as keyword knobs, so users
+can re-run the construction with different choices — e.g. drop AddrSt and
+find the litmus test that distinguishes the result (``lb+addrpo-st``), or
+pick ARM's SALdLdARM and reproduce the RSW/RNSW asymmetry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .axiomatic import MemoryModel
+from .ppo import (
+    AddrSt,
+    BrSt,
+    Clause,
+    FenceOrd,
+    RegRAW,
+    SALdLd,
+    SALdLdARM,
+    SAMemSt,
+    SARmwLd,
+    SAStLd,
+)
+
+__all__ = ["ConstraintInfo", "CONSTRAINTS", "assemble", "derivation_chain"]
+
+
+@dataclass(frozen=True)
+class ConstraintInfo:
+    """Provenance record for one constraint of the construction.
+
+    Attributes:
+        name: the paper's constraint name.
+        stage: ``"uniprocessor"``, ``"multiprocessor"``, ``"fence"`` or
+            ``"programming"`` — which construction step introduces it.
+        paper_ref: figure/section it comes from.
+        statement: the paper's one-line statement.
+        origin: why the constraint is necessary (the paper's justification).
+    """
+
+    name: str
+    stage: str
+    paper_ref: str
+    statement: str
+    origin: str
+
+
+CONSTRAINTS: dict[str, ConstraintInfo] = {
+    "SAMemSt": ConstraintInfo(
+        "SAMemSt",
+        "uniprocessor",
+        "Figure 7",
+        "A store must be ordered after older memory instructions for the same address.",
+        "A store written to L1 cannot be undone; single-thread correctness.",
+    ),
+    "SAStLd": ConstraintInfo(
+        "SAStLd",
+        "uniprocessor",
+        "Figure 7",
+        "A load is ordered after the producers of the address and data of the "
+        "immediately preceding same-address store.",
+        "Store-to-load forwarding needs the forwarded store's address and data.",
+    ),
+    "RegRAW": ConstraintInfo(
+        "RegRAW",
+        "uniprocessor",
+        "Figure 7",
+        "An instruction is ordered after the producers of its source operands (except PC).",
+        "No value prediction: operands must be computed before issue.",
+    ),
+    "BrSt": ConstraintInfo(
+        "BrSt",
+        "uniprocessor",
+        "Figure 7",
+        "A store must be ordered after an older branch.",
+        "Stores cannot issue speculatively; a mispredicted branch would squash them.",
+    ),
+    "AddrSt": ConstraintInfo(
+        "AddrSt",
+        "uniprocessor",
+        "Figure 7",
+        "A store must be ordered after producers of older memory instructions' addresses.",
+        "An older access could alias the store; issuing early could break SAMemSt.",
+    ),
+    "LMOrd": ConstraintInfo(
+        "LMOrd",
+        "multiprocessor",
+        "Figure 11",
+        "The global memory order of same-processor accesses matches their execution order.",
+        "Atomic memory: L1-access times define a total order (the InstOrder axiom).",
+    ),
+    "LdVal": ConstraintInfo(
+        "LdVal",
+        "multiprocessor",
+        "Figure 11",
+        "A load reads the youngest same-address store earlier in the global memory "
+        "order or the local commit order.",
+        "Combines monolithic-memory reads with local store forwarding (LoadValue axiom).",
+    ),
+    "FenceOrd": ConstraintInfo(
+        "FenceOrd",
+        "fence",
+        "Figure 12",
+        "FenceXY orders older type-X accesses before younger type-Y accesses.",
+        "Programmers need a way to restore SC; yields GAM0.",
+    ),
+    "SALdLd": ConstraintInfo(
+        "SALdLd",
+        "programming",
+        "Section III-E1",
+        "Same-address loads with no intervening same-address store keep commit order.",
+        "Per-location SC; the cost is rare load kills/stalls (Section V).",
+    ),
+    "SARmwLd": ConstraintInfo(
+        "SARmwLd",
+        "uniprocessor",
+        "Section III-C",
+        "A load must be ordered after an older same-address RMW.",
+        "An RMW executes by accessing memory; its result cannot be forwarded.",
+    ),
+    "SALdLdARM": ConstraintInfo(
+        "SALdLdARM",
+        "programming",
+        "Section III-E2",
+        "Same-address loads reading different stores keep commit order.",
+        "ARM's weaker alternative; allows RSW yet forbids RNSW, which the paper "
+        "deems confusing for no performance gain.",
+    ),
+}
+"""Every constraint of the construction with its provenance."""
+
+
+def assemble(
+    name: str,
+    *,
+    dependency_ordering: bool = True,
+    speculative_stores: bool = False,
+    same_address_loads: str = "none",
+    description: str = "",
+) -> MemoryModel:
+    """Run the construction procedure with explicit choices.
+
+    Args:
+        name: name for the resulting model.
+        dependency_ordering: keep RegRAW + SAStLd + AddrSt (no value
+            prediction, store-forwarding correctness).  Turning this off
+            reproduces Alpha-style relaxation — and the OOTA behaviour.
+        speculative_stores: if True, drop BrSt and AddrSt (a hypothetical
+            machine that issues stores speculatively; the paper's OOOU
+            forbids this).
+        same_address_loads: ``"none"`` (GAM0), ``"saldld"`` (GAM) or
+            ``"arm"`` (SALdLdARM).
+
+    Returns:
+        the assembled :class:`~repro.core.axiomatic.MemoryModel`; SAMemSt,
+        FenceOrd and the LoadValue/InstOrder axioms are always included
+        (they are not choices — they come from atomic memory and
+        single-thread correctness).
+    """
+    clauses: list[Clause] = [SAMemSt(), SARmwLd(), FenceOrd()]
+    if dependency_ordering:
+        clauses.extend((RegRAW(), SAStLd()))
+        if not speculative_stores:
+            clauses.append(AddrSt())
+    if not speculative_stores:
+        clauses.append(BrSt())
+    dynamic = ()
+    if same_address_loads == "saldld":
+        clauses.append(SALdLd())
+    elif same_address_loads == "arm":
+        dynamic = (SALdLdARM(),)
+    elif same_address_loads != "none":
+        raise ValueError(f"unknown same-address-load policy {same_address_loads!r}")
+    return MemoryModel(
+        name=name,
+        clauses=tuple(clauses),
+        dynamic_clauses=dynamic,
+        load_value="gam",
+        description=description or f"constructed model ({same_address_loads})",
+    )
+
+
+def derivation_chain() -> tuple[tuple[str, MemoryModel], ...]:
+    """The paper's derivation: base -> GAM0 -> GAM (plus the ARM detour).
+
+    Returns ``(stage description, model)`` pairs, in construction order;
+    used by the quickstart example to narrate the construction.
+    """
+    base = assemble(
+        "base",
+        same_address_loads="none",
+        description="uniprocessor constraints + atomic memory + fences",
+    )
+    gam0 = assemble(
+        "gam0",
+        same_address_loads="none",
+        description="GAM0: the base model of Section III-D",
+    )
+    arm = assemble(
+        "arm",
+        same_address_loads="arm",
+        description="GAM0 + SALdLdARM (the ARM detour of Section III-E2)",
+    )
+    gam = assemble(
+        "gam",
+        same_address_loads="saldld",
+        description="GAM: GAM0 + SALdLd (per-location SC)",
+    )
+    return (
+        ("uniprocessor constraints lifted to atomic memory (= GAM0 core)", base),
+        ("add fences for programmability: GAM0", gam0),
+        ("alternative: ARM's SALdLdARM", arm),
+        ("add SALdLd for per-location SC: GAM", gam),
+    )

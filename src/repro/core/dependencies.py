@@ -1,0 +1,80 @@
+"""Syntactic dependency relations: Definitions 4 and 5 of the paper.
+
+``I1 <ddep I2`` (data dependency) holds when some register in
+``WS(I1) ∩ RS(I2)`` is *live* from I1 to I2 — no intervening instruction
+rewrites it.  ``I1 <adep I2`` (address dependency) is the same with
+``ARS(I2)`` in place of ``RS(I2)``; address dependency implies data
+dependency.
+
+Both relations are computed over a *dynamic* instruction stream (a
+:class:`~repro.isa.program.ProgramRun`), because branches determine which
+instructions exist and therefore which writes are live.  Edges are pairs of
+static instruction indices, which uniquely identify dynamic instances in
+loop-free programs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..isa.program import ProgramRun
+
+__all__ = ["ddep_edges", "adep_edges", "dependency_closure"]
+
+
+def _raw_edges(run: ProgramRun, use_addr_read_set: bool) -> frozenset[tuple[int, int]]:
+    """Shared read-after-write walk for ddep/adep.
+
+    Tracks the youngest writer of each register; an instruction depends on
+    the youngest writer of each register it reads, which is exactly the
+    "no intervening write to r" condition of Definitions 4-5.
+    """
+    last_writer: dict[str, int] = {}
+    edges: set[tuple[int, int]] = set()
+    for executed in run.executed:
+        instr = executed.instr
+        reads = instr.addr_read_set() if use_addr_read_set else instr.read_set()
+        for reg in reads:
+            if reg in last_writer:
+                edges.add((last_writer[reg], executed.index))
+        for reg in instr.write_set():
+            last_writer[reg] = executed.index
+    return frozenset(edges)
+
+
+def ddep_edges(run: ProgramRun) -> frozenset[tuple[int, int]]:
+    """Data dependencies ``<ddep`` (Definition 4) as static-index pairs."""
+    return _raw_edges(run, use_addr_read_set=False)
+
+
+def adep_edges(run: ProgramRun) -> frozenset[tuple[int, int]]:
+    """Address dependencies ``<adep`` (Definition 5) as static-index pairs.
+
+    Every adep edge is also a ddep edge (``ARS ⊆ RS``), matching the paper's
+    remark that data dependency includes address dependency.
+    """
+    return _raw_edges(run, use_addr_read_set=True)
+
+
+def dependency_closure(edges: Iterable[tuple[int, int]]) -> frozenset[tuple[int, int]]:
+    """Transitive closure of a dependency edge set.
+
+    Useful for queries such as "is there a dependency chain from I1 to I2";
+    the ppo machinery performs its own closure, so this is a convenience for
+    analyses and tests.
+    """
+    edge_set = set(edges)
+    succ: dict[int, set[int]] = {}
+    for a, b in edge_set:
+        succ.setdefault(a, set()).add(b)
+    changed = True
+    while changed:
+        changed = False
+        for a in list(succ):
+            reachable = set(succ[a])
+            for b in list(reachable):
+                reachable |= succ.get(b, set())
+            if reachable != succ[a]:
+                succ[a] = reachable
+                changed = True
+    return frozenset((a, b) for a, bs in succ.items() for b in bs)

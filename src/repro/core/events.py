@@ -1,0 +1,205 @@
+"""Memory events and executions — the vocabulary of the axiomatic definition.
+
+An axiomatic *program behaviour* is the triple ``<po, mo, rf>`` of
+Section II-A.  Here:
+
+* program order ``<po`` is implicit in each processor's dynamic instruction
+  stream (a :class:`~repro.isa.program.ProgramRun`);
+* the global memory order ``<mo`` is a tuple of :class:`EventId`;
+* the read-from relation ``rf`` maps each load event to the store event it
+  reads (initialization stores are explicit events on pseudo-processor -1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from ..isa.program import ProgramRun
+
+__all__ = [
+    "EventId",
+    "INIT_PROC",
+    "RMW_STORE_PART",
+    "store_part",
+    "base_index",
+    "po_sort_key",
+    "MemEvent",
+    "Execution",
+    "build_events",
+    "init_events",
+]
+
+EventId = tuple[int, int]
+"""``(processor, static instruction index)``.  Unique per dynamic memory
+access because litmus programs are loop-free.  Initialization stores use
+processor :data:`INIT_PROC`; the *store half* of an RMW uses the
+instruction index offset by :data:`RMW_STORE_PART` (its load half keeps
+the plain index)."""
+
+INIT_PROC = -1
+"""Pseudo-processor id owning the initialization stores."""
+
+RMW_STORE_PART = 1 << 20
+"""Index offset marking the store half of an RMW instruction."""
+
+
+def store_part(index: int) -> int:
+    """The event index of an RMW's store half."""
+    return index + RMW_STORE_PART
+
+
+def base_index(index: int) -> int:
+    """The instruction index behind an event index (RMW halves share one)."""
+    return index - RMW_STORE_PART if index >= RMW_STORE_PART else index
+
+
+def po_sort_key(index: int) -> tuple[int, int]:
+    """Program-order sort key: RMW store halves follow their load half."""
+    return (base_index(index), 1 if index >= RMW_STORE_PART else 0)
+
+
+@dataclass(frozen=True)
+class MemEvent:
+    """One dynamic memory access (or initialization store).
+
+    Attributes:
+        proc: processor id, or :data:`INIT_PROC` for initialization.
+        index: static instruction index (or a counter for init events).
+        is_store: True for stores (including init), False for loads.
+        addr: the resolved address.
+        value: store data, or the load's (candidate) return value.
+        is_init: True for initialization stores.
+    """
+
+    proc: int
+    index: int
+    is_store: bool
+    addr: int
+    value: int
+    is_init: bool = False
+
+    @property
+    def eid(self) -> EventId:
+        """The event's identifier."""
+        return (self.proc, self.index)
+
+    def __repr__(self) -> str:
+        kind = "Init" if self.is_init else ("St" if self.is_store else "Ld")
+        return f"{kind}(P{self.proc}#{self.index} [{self.addr:#x}]={self.value})"
+
+
+def build_events(runs: tuple[ProgramRun, ...]) -> tuple[MemEvent, ...]:
+    """Extract the memory events of a candidate execution, per processor.
+
+    Loads carry their *assigned* value; whether an assignment is legal is
+    decided later against a concrete memory order.  An RMW contributes two
+    events: a load half at the instruction index (value = loaded) and a
+    store half at :func:`store_part` (value = stored data).
+    """
+    events: list[MemEvent] = []
+    for proc, run in enumerate(runs):
+        for executed in run.memory_accesses():
+            instr = executed.instr
+            if instr.is_load and instr.is_store:  # RMW
+                events.append(
+                    MemEvent(
+                        proc=proc,
+                        index=executed.index,
+                        is_store=False,
+                        addr=executed.addr,
+                        value=executed.value,
+                    )
+                )
+                events.append(
+                    MemEvent(
+                        proc=proc,
+                        index=store_part(executed.index),
+                        is_store=True,
+                        addr=executed.addr,
+                        value=executed.data,
+                    )
+                )
+            else:
+                events.append(
+                    MemEvent(
+                        proc=proc,
+                        index=executed.index,
+                        is_store=instr.is_store,
+                        addr=executed.addr,
+                        value=executed.value,
+                    )
+                )
+    return tuple(events)
+
+
+def init_events(
+    events: tuple[MemEvent, ...],
+    initial_memory: Mapping[int, int],
+) -> tuple[MemEvent, ...]:
+    """Synthesize one initialization store per address an execution touches.
+
+    Addresses listed in ``initial_memory`` get their declared value; every
+    other touched address starts at 0 (the litmus convention).  Init events
+    sit at the front of every memory order.
+    """
+    addrs = {e.addr for e in events} | set(initial_memory)
+    return tuple(
+        MemEvent(
+            proc=INIT_PROC,
+            index=i,
+            is_store=True,
+            addr=addr,
+            value=initial_memory.get(addr, 0),
+            is_init=True,
+        )
+        for i, addr in enumerate(sorted(addrs))
+    )
+
+
+@dataclass(frozen=True)
+class Execution:
+    """A complete, axiom-satisfying execution of a litmus test.
+
+    Attributes:
+        runs: per-processor dynamic instruction streams (defines ``<po``).
+        events: real memory events (no init), one per dynamic access.
+        inits: the initialization store events.
+        mo: the global memory order over ``inits + events`` ids, oldest first.
+        rf: read-from; maps each load's id to the id of the store it reads.
+        final_regs: ``(proc, reg) -> value`` after all processors finish.
+        final_mem: ``addr -> value`` of the memory-order-youngest store.
+    """
+
+    runs: tuple[ProgramRun, ...]
+    events: tuple[MemEvent, ...]
+    inits: tuple[MemEvent, ...]
+    mo: tuple[EventId, ...]
+    rf: Mapping[EventId, EventId]
+    final_regs: Mapping[tuple[int, str], int]
+    final_mem: Mapping[int, int]
+
+    def event(self, eid: EventId) -> MemEvent:
+        """Look up an event (real or init) by id."""
+        for e in self.events:
+            if e.eid == eid:
+                return e
+        for e in self.inits:
+            if e.eid == eid:
+                return e
+        raise KeyError(f"no event {eid}")
+
+    def mo_position(self, eid: EventId) -> int:
+        """Position of ``eid`` in the global memory order."""
+        return self.mo.index(eid)
+
+    def loads(self) -> tuple[MemEvent, ...]:
+        """All load events."""
+        return tuple(e for e in self.events if not e.is_store)
+
+    def stores(self, include_init: bool = False) -> tuple[MemEvent, ...]:
+        """All store events, optionally with initialization stores."""
+        stores = tuple(e for e in self.events if e.is_store)
+        if include_init:
+            return self.inits + stores
+        return stores

@@ -1,0 +1,108 @@
+"""Verdict matrices for the paper's litmus figures (Figs. 2, 5, 13, 14).
+
+Each litmus figure in the paper is a claim of the form "model M allows /
+forbids behaviour B".  This harness evaluates every claim against the
+implementations and renders the full test x model matrix, flagging any
+disagreement with the paper — it is the executable version of the paper's
+figure captions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from ..core.axiomatic import is_allowed
+from ..litmus.registry import all_tests, paper_suite
+from ..litmus.test import LitmusTest
+from ..models.registry import get_model
+from .render import render_table
+
+__all__ = ["VerdictCell", "litmus_matrix", "render_matrix", "conformance_failures"]
+
+_MATRIX_MODELS = ("sc", "tso", "gam", "gam0", "arm", "wmm", "alpha_like", "plsc")
+
+
+@dataclass(frozen=True)
+class VerdictCell:
+    """One (test, model) verdict.
+
+    Attributes:
+        test_name / model_name: coordinates.
+        allowed: what the implementation says.
+        expected: the paper's verdict, or ``None`` if the paper is silent.
+    """
+
+    test_name: str
+    model_name: str
+    allowed: bool
+    expected: Optional[bool]
+
+    @property
+    def conforms(self) -> bool:
+        """True when the implementation matches the paper (or paper silent)."""
+        return self.expected is None or self.allowed == self.expected
+
+
+def litmus_matrix(
+    tests: Optional[Iterable[LitmusTest]] = None,
+    model_names: Sequence[str] = _MATRIX_MODELS,
+) -> list[VerdictCell]:
+    """Evaluate every (test, model) verdict.
+
+    Defaults to the paper's figure tests against the full comparison zoo.
+    """
+    cells: list[VerdictCell] = []
+    materialized = list(tests) if tests is not None else list(paper_suite())
+    models = {name: get_model(name) for name in model_names}
+    for test in materialized:
+        if test.asked is None:
+            continue
+        for name, model in models.items():
+            cells.append(
+                VerdictCell(
+                    test_name=test.name,
+                    model_name=name,
+                    allowed=is_allowed(test, model),
+                    expected=test.expect.get(name),
+                )
+            )
+    return cells
+
+
+def render_matrix(cells: Sequence[VerdictCell]) -> str:
+    """Render the verdict matrix; cells are ``allow``/``forbid`` with ``!``
+    marking disagreement with the paper and ``·`` where the paper is silent."""
+    model_names = sorted({c.model_name for c in cells}, key=_MATRIX_MODELS.index)
+    test_names = list(dict.fromkeys(c.test_name for c in cells))
+    by_key = {(c.test_name, c.model_name): c for c in cells}
+    rows = []
+    for test_name in test_names:
+        row: list[object] = [test_name]
+        for model_name in model_names:
+            cell = by_key.get((test_name, model_name))
+            if cell is None:
+                row.append("-")
+                continue
+            text = "allow" if cell.allowed else "forbid"
+            if cell.expected is None:
+                text += "·"
+            elif not cell.conforms:
+                text += "!"
+            row.append(text)
+        rows.append(row)
+    legend = (
+        "('·' = paper silent, '!' = disagrees with paper; "
+        "asked behaviours are the non-SC outcomes of each figure)"
+    )
+    table = render_table(
+        ["test"] + list(model_names),
+        rows,
+        title="Litmus verdict matrix (paper figures 2, 5, 8, 9, 13, 14)",
+    )
+    return table + "\n" + legend
+
+
+def conformance_failures(cells: Iterable[VerdictCell]) -> list[VerdictCell]:
+    """Cells whose verdict contradicts the paper (should always be empty)."""
+    return [c for c in cells if not c.conforms]

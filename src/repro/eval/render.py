@@ -1,0 +1,61 @@
+"""ASCII rendering helpers for experiment reports."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["render_table", "render_bar_chart"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render a simple aligned ASCII table.
+
+    Floats are formatted to four significant places; everything else via
+    ``str``.  Used by every experiment harness so reports look uniform.
+    """
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.4g}"
+        return str(cell)
+
+    materialized = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in materialized:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    title: str = "",
+    width: int = 50,
+    baseline: float = 1.0,
+) -> str:
+    """Render normalized values as a deviation-from-baseline bar chart.
+
+    Mirrors Figure 18's presentation: values hover around 1.0, so bars show
+    the (signed) deviation, scaled to the maximum observed deviation.
+    """
+    deviations = [v - baseline for v in values]
+    scale = max((abs(d) for d in deviations), default=0.0) or 1.0
+    label_width = max((len(l) for l in labels), default=0)
+    lines = [title] if title else []
+    for label, value, dev in zip(labels, values, deviations):
+        bar_len = int(round(abs(dev) / scale * width))
+        bar = ("+" if dev >= 0 else "-") * bar_len
+        lines.append(f"{label.ljust(label_width)}  {value:7.4f}  {bar}")
+    return "\n".join(lines)

@@ -1,0 +1,88 @@
+"""The model-strength lattice, measured empirically.
+
+The paper's narrative places the models on a strength spectrum (SC
+strongest; GAM0/Alpha progressively weaker; GAM between GAM0 and TSO...).
+This harness *measures* the relation: model A is at least as strong as
+model B on a suite when A's outcome set is contained in B's for every
+test.  The resulting matrix is a compact, machine-checked summary of
+Sections II-III, and a regression tripwire for the whole zoo.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from ..core.axiomatic import enumerate_outcomes
+from ..litmus.registry import all_tests
+from ..litmus.test import LitmusTest
+from ..models.registry import get_model
+from .render import render_table
+
+__all__ = ["StrengthMatrix", "strength_matrix", "render_strength"]
+
+_DEFAULT_MODELS = ("sc", "tso", "gam", "arm", "gam0", "wmm", "alpha_like")
+
+
+@dataclass(frozen=True)
+class StrengthMatrix:
+    """Pairwise containment results.
+
+    ``stronger_or_equal[(a, b)]`` is True when model ``a``'s outcome set is
+    a subset of ``b``'s on *every* suite test (a allows no behaviour b
+    forbids — a is at least as strong).
+    """
+
+    model_names: tuple[str, ...]
+    stronger_or_equal: dict[tuple[str, str], bool]
+
+    def is_stronger_or_equal(self, a: str, b: str) -> bool:
+        """Is ``a`` at least as strong as ``b`` over the suite?"""
+        return self.stronger_or_equal[(a, b)]
+
+    def chain_holds(self, names: Sequence[str]) -> bool:
+        """Does strength decrease monotonically along ``names``?"""
+        return all(
+            self.is_stronger_or_equal(a, b) for a, b in zip(names, names[1:])
+        )
+
+
+def strength_matrix(
+    tests: Optional[Iterable[LitmusTest]] = None,
+    model_names: Sequence[str] = _DEFAULT_MODELS,
+) -> StrengthMatrix:
+    """Measure pairwise strength over a suite (default: full catalogue).
+
+    Tests whose programs a model cannot evaluate are never the case here —
+    all zoo models share the engine — so the matrix is total.
+    """
+    materialized = list(tests) if tests is not None else list(all_tests())
+    outcome_sets: dict[str, list[frozenset]] = {name: [] for name in model_names}
+    for test in materialized:
+        for name in model_names:
+            outcome_sets[name].append(
+                enumerate_outcomes(test, get_model(name), project="full")
+            )
+    relation: dict[tuple[str, str], bool] = {}
+    for a in model_names:
+        for b in model_names:
+            relation[(a, b)] = all(
+                sa <= sb for sa, sb in zip(outcome_sets[a], outcome_sets[b])
+            )
+    return StrengthMatrix(tuple(model_names), relation)
+
+
+def render_strength(matrix: StrengthMatrix) -> str:
+    """Render the containment matrix (``<=`` marks row ⊆ column)."""
+    rows = []
+    for a in matrix.model_names:
+        row: list[object] = [a]
+        for b in matrix.model_names:
+            row.append("<=" if matrix.stronger_or_equal[(a, b)] else ".")
+        rows.append(row)
+    table = render_table(
+        ["row ⊆ col?"] + list(matrix.model_names),
+        rows,
+        title="Model strength (row at least as strong as column)",
+    )
+    return table

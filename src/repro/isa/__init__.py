@@ -1,0 +1,57 @@
+"""Instruction set architecture for GAM litmus programs.
+
+This subpackage defines the minimal ISA the paper's programs use: loads,
+stores, the four basic fences, reg-to-reg computations and forward branches,
+together with operand expressions whose *syntactic* register read sets drive
+the dependency definitions (Definitions 1-5 of the paper).
+"""
+
+from .expr import BinOp, Const, Expr, Reg, UnOp, evaluate, registers_read, to_expr
+from .instructions import (
+    FENCE_LL,
+    FENCE_LS,
+    FENCE_SL,
+    FENCE_SS,
+    Branch,
+    Fence,
+    Instruction,
+    Load,
+    Nop,
+    RegOp,
+    Rmw,
+    Store,
+    acquire_fence,
+    full_fence,
+    release_fence,
+)
+from .program import ExecutedInstr, Program, ProgramError, ProgramRun
+
+__all__ = [
+    "Expr",
+    "Reg",
+    "Const",
+    "BinOp",
+    "UnOp",
+    "to_expr",
+    "registers_read",
+    "evaluate",
+    "Instruction",
+    "Load",
+    "Store",
+    "Fence",
+    "RegOp",
+    "Rmw",
+    "Branch",
+    "Nop",
+    "FENCE_LL",
+    "FENCE_LS",
+    "FENCE_SL",
+    "FENCE_SS",
+    "acquire_fence",
+    "release_fence",
+    "full_fence",
+    "Program",
+    "ProgramRun",
+    "ExecutedInstr",
+    "ProgramError",
+]

@@ -1,0 +1,280 @@
+"""Instruction set for litmus programs and the GAM abstract machine.
+
+The paper's programs use five instruction kinds: loads, stores, fences
+(``FenceXY`` for X, Y in {L, S}), reg-to-reg computations, and branches.
+Each instruction exposes the three register sets of Definitions 1-3:
+
+* ``RS(I)``  — registers read (:meth:`Instruction.read_set`),
+* ``WS(I)``  — registers written (:meth:`Instruction.write_set`),
+* ``ARS(I)`` — registers read *to compute the memory address*
+  (:meth:`Instruction.addr_read_set`).
+
+All definitions ignore the PC register, matching the paper (branch
+prediction means every fetched instruction already knows its PC).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .expr import Expr, ExprLike, registers_read, to_expr
+
+__all__ = [
+    "Instruction",
+    "Load",
+    "Store",
+    "Fence",
+    "RegOp",
+    "Rmw",
+    "Branch",
+    "Nop",
+    "FENCE_LL",
+    "FENCE_LS",
+    "FENCE_SL",
+    "FENCE_SS",
+    "acquire_fence",
+    "release_fence",
+    "full_fence",
+]
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """Base class for all instructions.
+
+    Instructions are immutable values; a program is a sequence of them, and
+    dynamic occurrences are identified by ``(processor, index)`` pairs in
+    :mod:`repro.core.events`.
+    """
+
+    def read_set(self) -> frozenset[str]:
+        """``RS(I)``: the registers this instruction reads (Definition 1)."""
+        return frozenset()
+
+    def write_set(self) -> frozenset[str]:
+        """``WS(I)``: the registers this instruction can write (Definition 2)."""
+        return frozenset()
+
+    def addr_read_set(self) -> frozenset[str]:
+        """``ARS(I)``: registers read to compute the memory address (Definition 3)."""
+        return frozenset()
+
+    @property
+    def is_load(self) -> bool:
+        """True for :class:`Load` instructions."""
+        return isinstance(self, Load)
+
+    @property
+    def is_store(self) -> bool:
+        """True for :class:`Store` instructions."""
+        return isinstance(self, Store)
+
+    @property
+    def is_memory(self) -> bool:
+        """True for loads and stores (the instructions that enter ``<mo``)."""
+        return self.is_load or self.is_store
+
+    @property
+    def is_fence(self) -> bool:
+        """True for :class:`Fence` instructions."""
+        return isinstance(self, Fence)
+
+    @property
+    def is_branch(self) -> bool:
+        """True for :class:`Branch` instructions."""
+        return isinstance(self, Branch)
+
+
+@dataclass(frozen=True)
+class Load(Instruction):
+    """``dst = Ld [addr]`` — load from the address ``addr`` evaluates to."""
+
+    dst: str
+    addr: Expr
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "addr", to_expr(self.addr))
+
+    def read_set(self) -> frozenset[str]:
+        return registers_read(self.addr)
+
+    def write_set(self) -> frozenset[str]:
+        return frozenset((self.dst,))
+
+    def addr_read_set(self) -> frozenset[str]:
+        return registers_read(self.addr)
+
+    def __repr__(self) -> str:
+        return f"{self.dst} = Ld [{self.addr!r}]"
+
+
+@dataclass(frozen=True)
+class Store(Instruction):
+    """``St [addr] data`` — store the value of ``data`` to address ``addr``."""
+
+    addr: Expr
+    data: Expr
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "addr", to_expr(self.addr))
+        object.__setattr__(self, "data", to_expr(self.data))
+
+    def read_set(self) -> frozenset[str]:
+        return registers_read(self.addr) | registers_read(self.data)
+
+    def write_set(self) -> frozenset[str]:
+        return frozenset()
+
+    def addr_read_set(self) -> frozenset[str]:
+        return registers_read(self.addr)
+
+    def __repr__(self) -> str:
+        return f"St [{self.addr!r}] {self.data!r}"
+
+
+@dataclass(frozen=True)
+class Fence(Instruction):
+    """``FenceXY`` — orders older type-X accesses before younger type-Y ones.
+
+    ``pre`` and ``post`` are ``"L"`` or ``"S"``.  The four basic fences of
+    Section III-D1 are the module constants :data:`FENCE_LL`,
+    :data:`FENCE_LS`, :data:`FENCE_SL` and :data:`FENCE_SS`; stronger fences
+    (acquire / release / full) are *sequences* of basic fences, built by
+    :func:`acquire_fence`, :func:`release_fence` and :func:`full_fence`.
+    """
+
+    pre: str
+    post: str
+
+    def __post_init__(self) -> None:
+        if self.pre not in ("L", "S") or self.post not in ("L", "S"):
+            raise ValueError(f"fence types must be 'L' or 'S', got {self.pre}{self.post}")
+
+    def orders_before(self, instr: Instruction) -> bool:
+        """True if this fence must come after older ``instr`` (type ``pre``)."""
+        return (instr.is_load and self.pre == "L") or (instr.is_store and self.pre == "S")
+
+    def orders_after(self, instr: Instruction) -> bool:
+        """True if this fence must come before younger ``instr`` (type ``post``)."""
+        return (instr.is_load and self.post == "L") or (instr.is_store and self.post == "S")
+
+    def __repr__(self) -> str:
+        return f"Fence{self.pre}{self.post}"
+
+
+FENCE_LL = Fence("L", "L")
+FENCE_LS = Fence("L", "S")
+FENCE_SL = Fence("S", "L")
+FENCE_SS = Fence("S", "S")
+
+
+def acquire_fence() -> tuple[Fence, Fence]:
+    """The acquire fence of Section III-D1: ``FenceLL; FenceLS``."""
+    return (FENCE_LL, FENCE_LS)
+
+
+def release_fence() -> tuple[Fence, Fence]:
+    """The release fence of Section III-D1: ``FenceLS; FenceSS``."""
+    return (FENCE_LS, FENCE_SS)
+
+
+def full_fence() -> tuple[Fence, Fence, Fence, Fence]:
+    """The full fence: all four basic fences in sequence."""
+    return (FENCE_LL, FENCE_LS, FENCE_SL, FENCE_SS)
+
+
+@dataclass(frozen=True)
+class RegOp(Instruction):
+    """``dst = expr`` — a reg-to-reg (ALU) computation."""
+
+    dst: str
+    expr: Expr
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "expr", to_expr(self.expr))
+
+    def read_set(self) -> frozenset[str]:
+        return registers_read(self.expr)
+
+    def write_set(self) -> frozenset[str]:
+        return frozenset((self.dst,))
+
+    def __repr__(self) -> str:
+        return f"{self.dst} = {self.expr!r}"
+
+
+@dataclass(frozen=True)
+class Branch(Instruction):
+    """``if (cond != 0) goto target`` — a conditional forward branch.
+
+    ``target`` is a label defined later in the same program (litmus programs
+    must be loop-free so exhaustive exploration terminates).  An
+    unconditional jump is a branch with condition ``Const(1)``.
+    """
+
+    cond: Expr
+    target: str
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "cond", to_expr(self.cond))
+
+    def read_set(self) -> frozenset[str]:
+        return registers_read(self.cond)
+
+    def __repr__(self) -> str:
+        return f"if ({self.cond!r}) goto {self.target}"
+
+
+@dataclass(frozen=True)
+class Rmw(Instruction):
+    """``dst = RMW [addr] data`` — atomic read-modify-write.
+
+    Atomically loads the old value of ``addr`` into ``dst`` and stores the
+    value of ``data``; ``data`` may read ``dst``, which denotes the *loaded*
+    value (so ``Rmw("r1", a, Reg("r1") + 1)`` is fetch-and-add and
+    ``Rmw("r1", a, Const(1))`` is an atomic swap/test-and-set).
+
+    Following Section III-C's sketch, an RMW obeys every constraint that
+    applies to a load of ``addr`` *and* every constraint that applies to a
+    store of ``addr`` (both ``is_load`` and ``is_store`` are true), and it
+    always executes by accessing the memory system — its load half never
+    forwards from the store buffer.
+    """
+
+    dst: str
+    addr: Expr
+    data: Expr
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "addr", to_expr(self.addr))
+        object.__setattr__(self, "data", to_expr(self.data))
+
+    def read_set(self) -> frozenset[str]:
+        data_reads = registers_read(self.data) - frozenset((self.dst,))
+        return registers_read(self.addr) | data_reads
+
+    def write_set(self) -> frozenset[str]:
+        return frozenset((self.dst,))
+
+    def addr_read_set(self) -> frozenset[str]:
+        return registers_read(self.addr)
+
+    @property
+    def is_load(self) -> bool:  # type: ignore[override]
+        return True
+
+    @property
+    def is_store(self) -> bool:  # type: ignore[override]
+        return True
+
+    def __repr__(self) -> str:
+        return f"{self.dst} = RMW [{self.addr!r}] {self.data!r}"
+
+
+@dataclass(frozen=True)
+class Nop(Instruction):
+    """A no-op; useful as a branch-target placeholder in tests."""
+
+    def __repr__(self) -> str:
+        return "Nop"

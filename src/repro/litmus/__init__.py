@@ -1,0 +1,17 @@
+"""Litmus-test infrastructure and the paper's test catalogue."""
+
+from .dsl import LitmusBuilder, ProcBuilder
+from .registry import all_tests, get_test, paper_suite, standard_suite, test_names
+from .test import LitmusTest, Outcome
+
+__all__ = [
+    "LitmusTest",
+    "Outcome",
+    "LitmusBuilder",
+    "ProcBuilder",
+    "get_test",
+    "all_tests",
+    "test_names",
+    "paper_suite",
+    "standard_suite",
+]

@@ -1,0 +1,212 @@
+"""A small builder DSL for writing litmus tests compactly.
+
+Example -- the Dekker test of Figure 2::
+
+    b = LitmusBuilder("dekker", locations=("a", "b"), source="Figure 2")
+    p0 = b.proc()
+    p0.st("a", 1)
+    p0.ld("r1", "b")
+    p1 = b.proc()
+    p1.st("b", 1)
+    p1.ld("r2", "a")
+    test = b.build(asked={"P0.r1": 0, "P1.r2": 0},
+                   expect={"sc": False, "tso": True, "gam": True})
+
+Address-position strings resolve to locations first, then to registers, so
+``ld("r2", "r1")`` is the indirect load ``r2 = Ld [r1]``.  To use a location's
+*address as data* (e.g. ``St [b] a`` in MP+addr), pass ``b.loc("a")``.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence, Union
+
+from ..isa.expr import BinOp, Const, Expr, Reg, to_expr
+from ..isa.instructions import (
+    Branch,
+    Fence,
+    Instruction,
+    Load,
+    Nop,
+    RegOp,
+    Rmw,
+    Store,
+    acquire_fence,
+    full_fence,
+    release_fence,
+)
+from ..isa.program import Program
+from .test import LitmusTest, Outcome, OutcomeSpec, _parse_outcome
+
+__all__ = ["LitmusBuilder", "ProcBuilder", "LOCATION_STRIDE"]
+
+LOCATION_STRIDE = 0x100
+"""Symbolic locations are laid out at multiples of this stride, keeping
+addresses disjoint from the small integers litmus tests store as data."""
+
+_FENCE_SEQUENCES = {
+    "acquire": acquire_fence,
+    "release": release_fence,
+    "full": full_fence,
+}
+
+
+class ProcBuilder:
+    """Accumulates one processor's instructions.  Methods chain."""
+
+    def __init__(self, owner: "LitmusBuilder") -> None:
+        self._owner = owner
+        self._instrs: list[Instruction] = []
+        self._labels: dict[str, int] = {}
+
+    def _addr_expr(self, addr: Union[str, int, Expr]) -> Expr:
+        if isinstance(addr, str):
+            if addr in self._owner.locations:
+                return Const(self._owner.locations[addr])
+            return Reg(addr)
+        return to_expr(addr)
+
+    def ld(self, dst: str, addr: Union[str, int, Expr]) -> "ProcBuilder":
+        """``dst = Ld [addr]``; string addresses resolve locations first."""
+        self._instrs.append(Load(dst, self._addr_expr(addr)))
+        return self
+
+    def st(self, addr: Union[str, int, Expr], data: Union[str, int, Expr]) -> "ProcBuilder":
+        """``St [addr] data``; string data is a register name."""
+        self._instrs.append(Store(self._addr_expr(addr), to_expr(data)))
+        return self
+
+    def op(self, dst: str, expr: Union[str, int, Expr]) -> "ProcBuilder":
+        """``dst = expr`` -- a reg-to-reg computation."""
+        self._instrs.append(RegOp(dst, to_expr(expr)))
+        return self
+
+    def rmw(
+        self,
+        dst: str,
+        addr: Union[str, int, Expr],
+        data: Union[str, int, Expr],
+    ) -> "ProcBuilder":
+        """``dst = RMW [addr] data`` -- atomic read-modify-write.
+
+        ``data`` may mention ``dst``, which denotes the loaded old value
+        (``rmw("r1", "a", Reg("r1") + 1)`` is fetch-and-add).
+        """
+        self._instrs.append(Rmw(dst, self._addr_expr(addr), to_expr(data)))
+        return self
+
+    def fence(self, kind: str) -> "ProcBuilder":
+        """Append a fence: ``"LL"/"LS"/"SL"/"SS"`` or ``"acquire"/"release"/"full"``."""
+        if kind in _FENCE_SEQUENCES:
+            self._instrs.extend(_FENCE_SEQUENCES[kind]())
+        elif len(kind) == 2:
+            self._instrs.append(Fence(kind[0], kind[1]))
+        else:
+            raise ValueError(f"unknown fence kind {kind!r}")
+        return self
+
+    def branch(
+        self,
+        cond: Union[str, int, Expr, tuple],
+        target: str,
+    ) -> "ProcBuilder":
+        """``if (cond) goto target`` -- target must be a later :meth:`label`.
+
+        ``cond`` may be an expression, a register name, or a 3-tuple
+        ``(lhs, op, rhs)`` with ``op`` in ``== != < >=``, e.g.
+        ``("r1", "==", 0)``.
+        """
+        if isinstance(cond, tuple):
+            lhs, op, rhs = cond
+            cond = BinOp(op, to_expr(lhs), to_expr(rhs))
+        self._instrs.append(Branch(to_expr(cond), target))
+        return self
+
+    def label(self, name: str) -> "ProcBuilder":
+        """Define a branch-target label at the current position."""
+        self._labels[name] = len(self._instrs)
+        return self
+
+    def nop(self) -> "ProcBuilder":
+        """Append a no-op."""
+        self._instrs.append(Nop())
+        return self
+
+    def build(self) -> Program:
+        """Finalize into a :class:`~repro.isa.Program`."""
+        return Program(self._instrs, self._labels)
+
+
+class LitmusBuilder:
+    """Builds a :class:`~repro.litmus.test.LitmusTest` incrementally."""
+
+    def __init__(
+        self,
+        name: str,
+        locations: Sequence[str] = (),
+        initial: Optional[Mapping[str, int]] = None,
+        source: str = "",
+        description: str = "",
+    ) -> None:
+        self.name = name
+        self.locations: dict[str, int] = {
+            loc: LOCATION_STRIDE * (i + 1) for i, loc in enumerate(locations)
+        }
+        self._initial = dict(initial or {})
+        self.source = source
+        self.description = description
+        self._procs: list[ProcBuilder] = []
+
+    def loc(self, name: str) -> Const:
+        """The *address* of location ``name`` as a constant operand.
+
+        Used when a test stores an address as data, e.g. ``St [b] a`` in
+        MP+addr (Figure 13a).
+        """
+        return Const(self.locations[name])
+
+    def init(self, name: str, value: Union[int, str]) -> "LitmusBuilder":
+        """Set the initial value of location ``name``.
+
+        ``value`` may be an int or another location's name (its address is
+        stored, as in Figure 9 where ``m[a]`` initially holds ``&b``).
+        """
+        if isinstance(value, str):
+            value = self.locations[value]
+        self._initial[name] = value
+        return self
+
+    def proc(self) -> ProcBuilder:
+        """Start the next processor's program."""
+        builder = ProcBuilder(self)
+        self._procs.append(builder)
+        return builder
+
+    def build(
+        self,
+        asked: Optional[OutcomeSpec] = None,
+        expect: Optional[Mapping[str, bool]] = None,
+        observed: Sequence[tuple[int, str]] = (),
+    ) -> LitmusTest:
+        """Finalize the test.
+
+        Args:
+            asked: the queried outcome (see :data:`OutcomeSpec`).
+            expect: paper verdicts, model name -> allowed?.
+            observed: extra ``(proc, reg)`` pairs to project outcomes onto.
+        """
+        initial_memory = {
+            self.locations[name]: value for name, value in self._initial.items()
+        }
+        outcome = _parse_outcome(asked, self.locations) if asked is not None else None
+        return LitmusTest(
+            name=self.name,
+            programs=tuple(p.build() for p in self._procs),
+            locations=dict(self.locations),
+            initial_memory=initial_memory,
+            asked=outcome,
+            expect=dict(expect or {}),
+            observed=frozenset(observed),
+            source=self.source,
+            description=self.description,
+        )

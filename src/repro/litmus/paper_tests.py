@@ -1,0 +1,448 @@
+"""Every litmus test that appears in the paper, with the paper's verdicts.
+
+Each builder function returns a :class:`~repro.litmus.test.LitmusTest` whose
+``expect`` map records, per memory model, whether the *asked* behaviour is
+allowed (``True``) or forbidden (``False``).  Model keys:
+
+* ``"sc"``, ``"tso"`` — the strong baselines;
+* ``"gam"``  — the paper's model (GAM0 + SALdLd);
+* ``"gam0"`` — Section III-D's initial model (no same-address load-load
+  ordering); the paper calls it a corrected RMO;
+* ``"arm"``  — GAM0 + SALdLdARM (Section III-E2);
+* ``"wmm"``  — WMM-like [43]: load-to-store ordering, no dependency ordering;
+* ``"alpha_like"`` — maximally relaxed atomic model without dependency or
+  speculation constraints; demonstrates OOTA (Section II-C);
+* ``"plsc"`` — per-location SC used as a yardstick (Section III-E).
+
+Verdicts marked in the paper's figures are reproduced verbatim; verdicts the
+paper implies (e.g. SC forbidding every non-SC behaviour) are included for
+completeness and unit-tested against the implementations.
+"""
+
+from __future__ import annotations
+
+from .dsl import LitmusBuilder
+from .test import LitmusTest
+
+__all__ = [
+    "dekker",
+    "oota",
+    "store_forwarding",
+    "load_speculation",
+    "mp_addr",
+    "mp_artificial_addr",
+    "mp_dep_memory",
+    "mp_prefetch",
+    "corr",
+    "corr_intervening_store",
+    "rsw",
+    "rnsw",
+    "PAPER_TESTS",
+]
+def dekker() -> LitmusTest:
+    """Figure 2: the Dekker / store-buffering test.
+
+    SC forbids ``r1 = r2 = 0``; every weak model (and TSO) allows it.
+    """
+    b = LitmusBuilder(
+        "dekker",
+        locations=("a", "b"),
+        source="Figure 2",
+        description="Store buffering; SC forbids r1=r2=0.",
+    )
+    b.proc().st("a", 1).ld("r1", "b")
+    b.proc().st("b", 1).ld("r2", "a")
+    return b.build(
+        asked={"P0.r1": 0, "P1.r2": 0},
+        expect={
+            "sc": False,
+            "tso": True,
+            "gam": True,
+            "gam0": True,
+            "arm": True,
+            "wmm": True,
+            "alpha_like": True,
+        },
+    )
+
+
+def oota() -> LitmusTest:
+    """Figure 5: out-of-thin-air.  All reasonable models forbid 42.
+
+    ``alpha_like`` (no dependency ordering, no load-to-store ordering)
+    allows it — this is exactly the OOTA problem the paper attributes to
+    Alpha's liberal reordering (Section II-C).
+    """
+    b = LitmusBuilder(
+        "oota",
+        locations=("a", "b"),
+        source="Figure 5",
+        description="Out-of-thin-air value 42; GAM forbids via RegRAW.",
+    )
+    b.proc().ld("r1", "a").st("b", "r1")
+    b.proc().ld("r2", "b").st("a", "r2")
+    return b.build(
+        asked={"P0.r1": 42, "P1.r2": 42},
+        expect={
+            "sc": False,
+            "tso": False,
+            "gam": False,
+            "gam0": False,
+            "arm": False,
+            "wmm": False,
+            "alpha_like": True,
+        },
+    )
+
+
+def store_forwarding() -> LitmusTest:
+    """Figure 8: a load must forward from the youngest older same-address store.
+
+    With ``r1`` initially 0, ``r2`` must read the forwarded 0 (from ``S``) and
+    can never observe the older ``St [a] 1`` — every model agrees.
+    """
+    b = LitmusBuilder(
+        "store-forwarding",
+        locations=("a",),
+        source="Figure 8",
+        description="Forwarding picks the youngest older same-address store.",
+    )
+    b.proc().st("a", 1).st("a", "r1").ld("r2", "a")
+    return b.build(
+        asked={"P0.r2": 0},
+        expect={
+            "sc": True,
+            "tso": True,
+            "gam": True,
+            "gam0": True,
+            "arm": True,
+            "wmm": True,
+            "alpha_like": True,
+        },
+    )
+
+
+def load_speculation() -> LitmusTest:
+    """Figure 9: speculative load issue past an unresolved store address.
+
+    Memory location ``a`` initially holds the *address* of ``b``; the store
+    ``St [r1] 1`` therefore hits ``b`` and the final load must return 1 in
+    every model (constraint SAStLd repairs the speculation).
+    """
+    b = LitmusBuilder(
+        "load-speculation",
+        locations=("a", "b"),
+        source="Figure 9",
+        description="Load issued before older store address resolves.",
+    )
+    b.init("a", "b")
+    b.proc().ld("r1", "a").st("r1", 1).ld("r2", "b")
+    return b.build(
+        asked={"P0.r2": 1},
+        expect={
+            "sc": True,
+            "tso": True,
+            "gam": True,
+            "gam0": True,
+            "arm": True,
+            "wmm": True,
+            "alpha_like": True,
+        },
+    )
+
+
+def mp_addr() -> LitmusTest:
+    """Figure 13a: message passing with an address dependency.
+
+    GAM0 (and GAM, ARM) forbid ``r1 = &a, r2 = 0`` through RegRAW + LMOrd;
+    models without dependency ordering (WMM, alpha_like) allow it.
+    """
+    b = LitmusBuilder(
+        "mp+addr",
+        locations=("a", "b"),
+        source="Figure 13a",
+        description="Address dependency orders the two loads of P1.",
+    )
+    b.proc().st("a", 1).fence("SS").st("b", b.loc("a"))
+    b.proc().ld("r1", "b").ld("r2", "r1")
+    return b.build(
+        asked={"P1.r1": b.locations["a"], "P1.r2": 0},
+        expect={
+            "sc": False,
+            "tso": False,
+            "gam": False,
+            "gam0": False,
+            "arm": False,
+            "wmm": True,
+            "alpha_like": True,
+        },
+    )
+
+
+def mp_artificial_addr() -> LitmusTest:
+    """Figure 13b: message passing with an *artificial* address dependency.
+
+    ``r2 = a + r1 - r1`` syntactically reads ``r1``, so GAM0 still orders the
+    loads; implementations must respect syntactic dependencies.
+    """
+    b = LitmusBuilder(
+        "mp+artificial-addr",
+        locations=("a", "b"),
+        source="Figure 13b",
+        description="Artificial data dependency replaces a FenceLL.",
+    )
+    b.proc().st("a", 1).fence("SS").st("b", 1)
+    b.proc().ld("r1", "b").op("r2", b.loc("a") + "r1" - "r1").ld("r3", "r2")
+    return b.build(
+        asked={"P1.r1": 1, "P1.r2": b.locations["a"], "P1.r3": 0},
+        expect={
+            "sc": False,
+            "tso": False,
+            "gam": False,
+            "gam0": False,
+            "arm": False,
+            "wmm": True,
+            "alpha_like": True,
+        },
+    )
+
+
+def mp_dep_memory() -> LitmusTest:
+    """Figure 13c: a dependency chain through a memory location.
+
+    P1 stores its loaded value to ``c`` and reloads it; constraint SAStLd
+    keeps the chain intact, so GAM0 forbids the stale read of ``a``.
+    """
+    b = LitmusBuilder(
+        "mp+dep-memory",
+        locations=("a", "b", "c"),
+        source="Figure 13c",
+        description="Data dependency carried through memory (SAStLd).",
+    )
+    b.proc().st("a", 1).fence("SS").st("b", 1)
+    (
+        b.proc()
+        .ld("r1", "b")
+        .st("c", "r1")
+        .ld("r2", "c")
+        .op("r3", b.loc("a") + "r2" - "r2")
+        .ld("r4", "r3")
+    )
+    return b.build(
+        asked={"P1.r1": 1, "P1.r2": 1, "P1.r3": b.locations["a"], "P1.r4": 0},
+        expect={
+            "sc": False,
+            "tso": False,
+            "gam": False,
+            "gam0": False,
+            "arm": False,
+            "wmm": True,
+            "alpha_like": True,
+        },
+    )
+
+
+def mp_prefetch() -> LitmusTest:
+    """Figure 13d: load-load forwarding would break dependency ordering.
+
+    GAM0 forbids the stale ``r3 = 0``: once ``r2 = &a`` is observed the
+    dependent load must see ``St [a] 1``.  A machine with load-load
+    forwarding (Alpha*) could return the stale prefetched 0.
+    """
+    b = LitmusBuilder(
+        "mp+prefetch",
+        locations=("a", "b"),
+        source="Figure 13d",
+        description="Why load-load data forwarding is disallowed.",
+    )
+    b.proc().st("a", 1).fence("SS").st("b", b.loc("a"))
+    b.proc().ld("r1", "a").ld("r2", "b").ld("r3", "r2")
+    return b.build(
+        asked={"P1.r1": 0, "P1.r2": b.locations["a"], "P1.r3": 0},
+        expect={
+            "sc": False,
+            "tso": False,
+            "gam": False,
+            "gam0": False,
+            "arm": False,
+            "wmm": True,
+            "alpha_like": True,
+        },
+    )
+
+
+def corr() -> LitmusTest:
+    """Figure 14a: coherent read-read (CoRR).
+
+    Per-location SC forbids ``r1 = 1, r2 = 0``; GAM forbids it via SALdLd;
+    GAM0 and RMO allow it (the paper's motivating example for adding
+    SALdLd).  ARM forbids it because the two loads read different stores.
+    """
+    b = LitmusBuilder(
+        "corr",
+        locations=("a",),
+        source="Figure 14a",
+        description="Same-address load-load reordering (per-location SC).",
+    )
+    b.proc().st("a", 1)
+    b.proc().ld("r1", "a").ld("r2", "a")
+    return b.build(
+        asked={"P1.r1": 1, "P1.r2": 0},
+        expect={
+            "sc": False,
+            "tso": False,
+            "gam": False,
+            "gam0": True,
+            "arm": False,
+            "alpha_like": True,
+            "plsc": False,
+        },
+    )
+
+
+def corr_intervening_store() -> LitmusTest:
+    """Figure 14b: same-address loads with an intervening store.
+
+    Both per-location SC and GAM allow ``r1=1, r2=2, r3=0``: the younger
+    load forwards from the intervening store, so SALdLd deliberately does
+    not order the two loads.
+    """
+    b = LitmusBuilder(
+        "corr+intervening-store",
+        locations=("a", "b"),
+        source="Figure 14b",
+        description="SALdLd exempts loads separated by a same-address store.",
+    )
+    b.proc().st("a", 1).fence("SS").st("b", 1)
+    (
+        b.proc()
+        .ld("r1", "b")
+        .st("b", 2)
+        .ld("r2", "b")
+        .op("rt", b.loc("a") + "r2" - "r2")
+        .ld("r3", "rt")
+    )
+    return b.build(
+        asked={"P1.r1": 1, "P1.r2": 2, "P1.r3": 0},
+        expect={
+            "sc": False,
+            "tso": False,
+            "gam": True,
+            "gam0": True,
+            "arm": True,
+            "plsc": True,
+        },
+    )
+
+
+def rsw() -> LitmusTest:
+    """Figure 14c: read-same-write.
+
+    The middle loads of P1 both read the initial value of ``c`` (the *same*
+    store), so SALdLdARM does not order them: ARM allows the stale
+    ``r6 = 0`` while GAM forbids it.  The paper's argument for SALdLd over
+    SALdLdARM is the confusing contrast between this test and RNSW.
+    """
+    b = LitmusBuilder(
+        "rsw",
+        locations=("a", "b", "c"),
+        source="Figure 14c",
+        description="ARM allows; GAM forbids (reads of the same store).",
+    )
+    b.proc().st("a", 1).fence("SS").st("b", 1)
+    (
+        b.proc()
+        .ld("r1", "b")
+        .op("r2", b.loc("c") + "r1" - "r1")
+        .ld("r3", "r2")
+        .ld("r4", "c")
+        .op("r5", b.loc("a") + "r4" - "r4")
+        .ld("r6", "r5")
+    )
+    return b.build(
+        asked={
+            "P1.r1": 1,
+            "P1.r2": b.locations["c"],
+            "P1.r3": 0,
+            "P1.r4": 0,
+            "P1.r5": b.locations["a"],
+            "P1.r6": 0,
+        },
+        expect={
+            "sc": False,
+            "tso": False,
+            "gam": False,
+            "gam0": True,
+            "arm": True,
+            "plsc": True,
+        },
+    )
+
+
+def rnsw() -> LitmusTest:
+    """Figure 14d: read-not-same-write.
+
+    Identical to RSW except P0 rewrites the initial 0 into ``c``; if the
+    loads of ``c`` read *different* stores SALdLdARM now orders them, so
+    both ARM and GAM forbid the behaviour.
+
+    Note on per-location SC: the paper's claim is about the *read-from
+    pattern* — no coherent execution can have I7 read the initialization of
+    ``c`` while I6 reads ``St [c] 0``.  The register outcome itself is
+    coherently reachable (both loads reading the initialization), so the
+    ``plsc`` pseudo-model carries no verdict here; the rf-pattern claim is
+    asserted directly in the test suite.
+    """
+    b = LitmusBuilder(
+        "rnsw",
+        locations=("a", "b", "c"),
+        source="Figure 14d",
+        description="ARM and GAM both forbid; contrast with RSW.",
+    )
+    b.proc().st("a", 1).fence("SS").st("c", 0).fence("SS").st("b", 1)
+    (
+        b.proc()
+        .ld("r1", "b")
+        .op("r2", b.loc("c") + "r1" - "r1")
+        .ld("r3", "r2")
+        .ld("r4", "c")
+        .op("r5", b.loc("a") + "r4" - "r4")
+        .ld("r6", "r5")
+    )
+    return b.build(
+        asked={
+            "P1.r1": 1,
+            "P1.r2": b.locations["c"],
+            "P1.r3": 0,
+            "P1.r4": 0,
+            "P1.r5": b.locations["a"],
+            "P1.r6": 0,
+        },
+        expect={
+            "sc": False,
+            "tso": False,
+            "gam": False,
+            "gam0": True,
+            "arm": False,
+        },
+    )
+
+
+PAPER_TESTS = {
+    fn().name: fn
+    for fn in (
+        dekker,
+        oota,
+        store_forwarding,
+        load_speculation,
+        mp_addr,
+        mp_artificial_addr,
+        mp_dep_memory,
+        mp_prefetch,
+        corr,
+        corr_intervening_store,
+        rsw,
+        rnsw,
+    )
+}
+"""Mapping from test name to its builder function, one per paper figure."""

@@ -1,0 +1,46 @@
+"""Central registry of litmus tests, grouped into suites."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from .paper_tests import PAPER_TESTS
+from .standard_tests import STANDARD_TESTS
+from .test import LitmusTest
+
+__all__ = ["all_tests", "get_test", "test_names", "paper_suite", "standard_suite"]
+
+_ALL: dict[str, Callable[[], LitmusTest]] = {**PAPER_TESTS, **STANDARD_TESTS}
+
+
+def test_names() -> tuple[str, ...]:
+    """All registered litmus test names, paper figures first."""
+    return tuple(_ALL)
+
+
+def get_test(name: str) -> LitmusTest:
+    """Build the litmus test registered under ``name``.
+
+    Raises ``KeyError`` with the available names on a miss.
+    """
+    if name not in _ALL:
+        raise KeyError(f"unknown litmus test {name!r}; available: {', '.join(_ALL)}")
+    return _ALL[name]()
+
+
+def all_tests() -> Iterable[LitmusTest]:
+    """Yield every registered test (paper + standard suites)."""
+    for builder in _ALL.values():
+        yield builder()
+
+
+def paper_suite() -> Iterable[LitmusTest]:
+    """Yield the tests that appear as figures in the paper."""
+    for builder in PAPER_TESTS.values():
+        yield builder()
+
+
+def standard_suite() -> Iterable[LitmusTest]:
+    """Yield the classic (non-paper) tests."""
+    for builder in STANDARD_TESTS.values():
+        yield builder()

@@ -1,0 +1,838 @@
+"""The classic litmus suite, used to cross-check the model zoo.
+
+These tests do not appear as figures in the paper but are standard in the
+memory-model literature (herd/diy naming).  Verdicts follow from the paper's
+construction: GAM allows all four load/store reorderings, enforces syntactic
+dependency ordering, branch-to-store and address-to-store ordering, atomic
+memory, and per-location SC.
+"""
+
+from __future__ import annotations
+
+from .dsl import LitmusBuilder
+from .test import LitmusTest
+
+__all__ = [
+    "mp",
+    "mp_fences",
+    "mp_ctrl",
+    "dekker_full_fence",
+    "lb",
+    "lb_data_both",
+    "lb_ctrl_both",
+    "lb_addrpo_st",
+    "wrc",
+    "iriw",
+    "iriw_fences",
+    "coww",
+    "corw1",
+    "cowr",
+    "two_plus_two_w",
+    "two_plus_two_w_fences",
+    "isa2",
+    "three_2w",
+    "dekker_half_fence",
+    "rwc",
+    "corr3",
+    "wwc",
+    "mp_acquire_release",
+    "r_test",
+    "rmw_swap",
+    "rmw_fetch_add",
+    "rmw_no_forward",
+    "s_test",
+    "STANDARD_TESTS",
+]
+
+
+def mp() -> LitmusTest:
+    """Message passing with no fences: every weak model allows the stale read."""
+    b = LitmusBuilder(
+        "mp",
+        locations=("a", "b"),
+        description="Unfenced message passing; weak models allow r1=1, r2=0.",
+    )
+    b.proc().st("a", 1).st("b", 1)
+    b.proc().ld("r1", "b").ld("r2", "a")
+    return b.build(
+        asked={"P1.r1": 1, "P1.r2": 0},
+        expect={
+            "sc": False,
+            "tso": False,
+            "gam": True,
+            "gam0": True,
+            "arm": True,
+            "wmm": True,
+            "alpha_like": True,
+        },
+    )
+
+
+def mp_fences() -> LitmusTest:
+    """Message passing fenced on both sides: forbidden everywhere."""
+    b = LitmusBuilder(
+        "mp+fences",
+        locations=("a", "b"),
+        description="FenceSS + FenceLL restore order; all models forbid.",
+    )
+    b.proc().st("a", 1).fence("SS").st("b", 1)
+    b.proc().ld("r1", "b").fence("LL").ld("r2", "a")
+    return b.build(
+        asked={"P1.r1": 1, "P1.r2": 0},
+        expect={
+            "sc": False,
+            "tso": False,
+            "gam": False,
+            "gam0": False,
+            "arm": False,
+            "wmm": False,
+            "alpha_like": False,
+        },
+    )
+
+
+def mp_ctrl() -> LitmusTest:
+    """Message passing with only a *control* dependency between the loads.
+
+    GAM's BrSt constraint orders branches before *stores*, not loads, so a
+    control dependency does not order two loads — GAM allows the stale read
+    (unlike models with control-dependency load ordering).
+    """
+    b = LitmusBuilder(
+        "mp+ctrl",
+        locations=("a", "b"),
+        description="Control dependency does not order load-load in GAM.",
+    )
+    b.proc().st("a", 1).fence("SS").st("b", 1)
+    p1 = b.proc()
+    p1.ld("r1", "b")
+    p1.branch(("r1", "==", 0), "end")
+    p1.ld("r2", "a")
+    p1.label("end")
+    return b.build(
+        asked={"P1.r1": 1, "P1.r2": 0},
+        expect={
+            "sc": False,
+            "tso": False,
+            "gam": True,
+            "gam0": True,
+            "arm": True,
+            "alpha_like": True,
+        },
+    )
+
+
+def dekker_full_fence() -> LitmusTest:
+    """Dekker with full fences: the FenceSL component forbids r1=r2=0."""
+    b = LitmusBuilder(
+        "dekker+full",
+        locations=("a", "b"),
+        description="Full fences restore SC for Dekker.",
+    )
+    b.proc().st("a", 1).fence("full").ld("r1", "b")
+    b.proc().st("b", 1).fence("full").ld("r2", "a")
+    return b.build(
+        asked={"P0.r1": 0, "P1.r2": 0},
+        expect={
+            "sc": False,
+            "tso": False,
+            "gam": False,
+            "gam0": False,
+            "arm": False,
+            "wmm": False,
+            "alpha_like": False,
+        },
+    )
+
+
+def lb() -> LitmusTest:
+    """Load buffering without dependencies.
+
+    GAM allows it (load-store reordering); WMM forbids it because WMM keeps
+    load-to-store ordering precisely to dodge OOTA (Section II-C).
+    """
+    b = LitmusBuilder(
+        "lb",
+        locations=("a", "b"),
+        description="Load buffering; GAM allows, WMM forbids.",
+    )
+    b.proc().ld("r1", "a").st("b", 1)
+    b.proc().ld("r2", "b").st("a", 1)
+    return b.build(
+        asked={"P0.r1": 1, "P1.r2": 1},
+        expect={
+            "sc": False,
+            "tso": False,
+            "gam": True,
+            "gam0": True,
+            "arm": True,
+            "wmm": False,
+            "alpha_like": True,
+        },
+    )
+
+
+def lb_data_both() -> LitmusTest:
+    """Load buffering with data dependencies on both sides (OOTA shape).
+
+    Like Figure 5 but asking for value 1; GAM's RegRAW constraint makes the
+    required memory order cyclic, so GAM forbids.
+    """
+    b = LitmusBuilder(
+        "lb+datas",
+        locations=("a", "b"),
+        description="LB with data dependencies; forbidden by RegRAW.",
+    )
+    b.proc().ld("r1", "a").st("b", "r1")
+    b.proc().ld("r2", "b").st("a", "r2")
+    return b.build(
+        asked={"P0.r1": 1, "P1.r2": 1},
+        expect={
+            "sc": False,
+            "tso": False,
+            "gam": False,
+            "gam0": False,
+            "arm": False,
+            "wmm": False,
+            "alpha_like": True,
+        },
+    )
+
+
+def lb_ctrl_both() -> LitmusTest:
+    """Load buffering with control dependencies: BrSt forbids it in GAM.
+
+    Stores cannot issue speculatively before older branches resolve, so the
+    load -> branch -> store chain is ordered on both processors.
+    """
+    b = LitmusBuilder(
+        "lb+ctrls",
+        locations=("a", "b"),
+        description="LB with control dependencies; forbidden by BrSt.",
+    )
+    p0 = b.proc()
+    p0.ld("r1", "a")
+    p0.branch(("r1", "!=", 1), "skip0")
+    p0.st("b", 1)
+    p0.label("skip0")
+    p1 = b.proc()
+    p1.ld("r2", "b")
+    p1.branch(("r2", "!=", 1), "skip1")
+    p1.st("a", 1)
+    p1.label("skip1")
+    return b.build(
+        asked={"P0.r1": 1, "P1.r2": 1},
+        expect={
+            "sc": False,
+            "tso": False,
+            "gam": False,
+            "gam0": False,
+            "arm": False,
+            "wmm": False,
+            "alpha_like": True,
+        },
+    )
+
+
+def lb_addrpo_st() -> LitmusTest:
+    """Load buffering where only the AddrSt constraint breaks the cycle.
+
+    P0's store is independent of ``r1`` by data and control, but an older
+    load's *address* depends on ``r1``; constraint AddrSt orders the store
+    after the address producer, forbidding the cycle in GAM.
+    """
+    b = LitmusBuilder(
+        "lb+addrpo-st",
+        locations=("a", "b", "c"),
+        description="AddrSt (address-to-store) ordering closes the LB cycle.",
+    )
+    p0 = b.proc()
+    p0.ld("r1", "a")
+    p0.op("rt", b.loc("c") + "r1" - "r1")
+    p0.ld("r2", "rt")
+    p0.st("b", 1)
+    b.proc().ld("r3", "b").st("a", "r3")
+    return b.build(
+        asked={"P0.r1": 1, "P1.r3": 1},
+        expect={
+            "sc": False,
+            "tso": False,
+            "gam": False,
+            "gam0": False,
+            "arm": False,
+            "alpha_like": True,
+        },
+    )
+
+
+def wrc() -> LitmusTest:
+    """Write-to-read causality with dependencies: atomic memory forbids it."""
+    b = LitmusBuilder(
+        "wrc",
+        locations=("a", "b"),
+        description="WRC+data+addr; forbidden by atomic memory + deps.",
+    )
+    b.proc().st("a", 1)
+    b.proc().ld("r1", "a").st("b", "r1")
+    (
+        b.proc()
+        .ld("r2", "b")
+        .op("rt", b.loc("a") + "r2" - "r2")
+        .ld("r3", "rt")
+    )
+    return b.build(
+        asked={"P1.r1": 1, "P2.r2": 1, "P2.r3": 0},
+        expect={
+            "sc": False,
+            "tso": False,
+            "gam": False,
+            "gam0": False,
+            "arm": False,
+            "wmm": True,
+            "alpha_like": True,
+        },
+    )
+
+
+def iriw() -> LitmusTest:
+    """IRIW without fences: allowed by all models that reorder loads."""
+    b = LitmusBuilder(
+        "iriw",
+        locations=("a", "b"),
+        description="Independent reads of independent writes, unfenced.",
+    )
+    b.proc().st("a", 1)
+    b.proc().st("b", 1)
+    b.proc().ld("r1", "a").ld("r2", "b")
+    b.proc().ld("r3", "b").ld("r4", "a")
+    return b.build(
+        asked={"P2.r1": 1, "P2.r2": 0, "P3.r3": 1, "P3.r4": 0},
+        expect={
+            "sc": False,
+            "tso": False,
+            "gam": True,
+            "gam0": True,
+            "arm": True,
+            "alpha_like": True,
+        },
+    )
+
+
+def iriw_fences() -> LitmusTest:
+    """IRIW with FenceLL on the readers: *atomic* memory forbids it.
+
+    This is the signature of atomic memory models (Section II-B): stores
+    become visible to all other processors at once, so fenced readers cannot
+    disagree on the order of independent writes.
+    """
+    b = LitmusBuilder(
+        "iriw+fences",
+        locations=("a", "b"),
+        description="Fenced IRIW; forbidden by every atomic memory model.",
+    )
+    b.proc().st("a", 1)
+    b.proc().st("b", 1)
+    b.proc().ld("r1", "a").fence("LL").ld("r2", "b")
+    b.proc().ld("r3", "b").fence("LL").ld("r4", "a")
+    return b.build(
+        asked={"P2.r1": 1, "P2.r2": 0, "P3.r3": 1, "P3.r4": 0},
+        expect={
+            "sc": False,
+            "tso": False,
+            "gam": False,
+            "gam0": False,
+            "arm": False,
+            "wmm": False,
+            "alpha_like": False,
+        },
+    )
+
+
+def coww() -> LitmusTest:
+    """Coherence WW: same-address stores cannot commit out of order."""
+    b = LitmusBuilder(
+        "coww",
+        locations=("a",),
+        description="SAMemSt keeps same-address stores in order.",
+    )
+    b.proc().st("a", 1).st("a", 2)
+    return b.build(
+        asked={"a": 1},
+        expect={
+            "sc": False,
+            "tso": False,
+            "gam": False,
+            "gam0": False,
+            "arm": False,
+            "wmm": False,
+            "alpha_like": False,
+        },
+    )
+
+
+def corw1() -> LitmusTest:
+    """Coherence RW: a load cannot read a program-younger store."""
+    b = LitmusBuilder(
+        "corw1",
+        locations=("a",),
+        description="A load never reads its own processor's future store.",
+    )
+    b.proc().ld("r1", "a").st("a", 1)
+    return b.build(
+        asked={"P0.r1": 1},
+        expect={
+            "sc": False,
+            "tso": False,
+            "gam": False,
+            "gam0": False,
+            "arm": False,
+            "wmm": False,
+            "alpha_like": False,
+        },
+    )
+
+
+def cowr() -> LitmusTest:
+    """Coherence WR: reading a foreign store implies coherence order.
+
+    If P0's load reads P1's ``St [a] 2``, that store is coherence-after
+    ``St [a] 1``, so final memory cannot be 1.
+    """
+    b = LitmusBuilder(
+        "cowr",
+        locations=("a",),
+        description="LdVal: a foreign read fixes the coherence order.",
+    )
+    b.proc().st("a", 1).ld("r1", "a")
+    b.proc().st("a", 2)
+    return b.build(
+        asked={"P0.r1": 2, "a": 1},
+        expect={
+            "sc": False,
+            "tso": False,
+            "gam": False,
+            "gam0": False,
+            "arm": False,
+            "wmm": False,
+            "alpha_like": False,
+        },
+    )
+
+
+def two_plus_two_w() -> LitmusTest:
+    """2+2W: store-store reordering lets both addresses finish 'old'."""
+    b = LitmusBuilder(
+        "2+2w",
+        locations=("a", "b"),
+        description="Unfenced 2+2W; weak models allow a=1, b=1.",
+    )
+    b.proc().st("a", 1).st("b", 2)
+    b.proc().st("b", 1).st("a", 2)
+    return b.build(
+        asked={"a": 1, "b": 1},
+        expect={
+            "sc": False,
+            "tso": False,
+            "gam": True,
+            "gam0": True,
+            "arm": True,
+            "wmm": True,
+            "alpha_like": True,
+        },
+    )
+
+
+def two_plus_two_w_fences() -> LitmusTest:
+    """2+2W with FenceSS on both processors: forbidden everywhere."""
+    b = LitmusBuilder(
+        "2+2w+fences",
+        locations=("a", "b"),
+        description="FenceSS restores SC for 2+2W.",
+    )
+    b.proc().st("a", 1).fence("SS").st("b", 2)
+    b.proc().st("b", 1).fence("SS").st("a", 2)
+    return b.build(
+        asked={"a": 1, "b": 1},
+        expect={
+            "sc": False,
+            "tso": False,
+            "gam": False,
+            "gam0": False,
+            "arm": False,
+            "wmm": False,
+            "alpha_like": False,
+        },
+    )
+
+
+def isa2() -> LitmusTest:
+    """ISA2: transitive publication through a third location.
+
+    P0 publishes with FenceSS, P1 relays the flag by storing its loaded
+    value, P2 picks it up through a data+address dependency chain.  Every
+    dependency-ordering model forbids the stale read; WMM-like and
+    Alpha-like (no dependency ordering) allow it.
+    """
+    b = LitmusBuilder(
+        "isa2",
+        locations=("a", "b", "c"),
+        description="Transitive message passing via deps across 3 procs.",
+    )
+    b.proc().st("a", 1).fence("SS").st("b", 1)
+    b.proc().ld("r1", "b").st("c", "r1")
+    (
+        b.proc()
+        .ld("r2", "c")
+        .op("rt", b.loc("a") + "r2" - "r2")
+        .ld("r3", "rt")
+    )
+    return b.build(
+        asked={"P1.r1": 1, "P2.r2": 1, "P2.r3": 0},
+        expect={
+            "sc": False,
+            "tso": False,
+            "gam": False,
+            "gam0": False,
+            "arm": False,
+            "wmm": True,
+            "alpha_like": True,
+        },
+    )
+
+
+def three_2w() -> LitmusTest:
+    """3.2W: a ring of store pairs; store-store reordering closes the cycle."""
+    b = LitmusBuilder(
+        "3.2w",
+        locations=("a", "b", "c"),
+        description="Three-processor 2+2W ring; weak models allow.",
+    )
+    b.proc().st("a", 1).st("b", 2)
+    b.proc().st("b", 1).st("c", 2)
+    b.proc().st("c", 1).st("a", 2)
+    return b.build(
+        asked={"a": 1, "b": 1, "c": 1},
+        expect={
+            "sc": False,
+            "tso": False,
+            "gam": True,
+            "gam0": True,
+            "arm": True,
+            "wmm": True,
+            "alpha_like": True,
+        },
+    )
+
+
+def dekker_half_fence() -> LitmusTest:
+    """Dekker fenced on one side only: still broken everywhere weak.
+
+    Restoring SC needs *both* processors to order their store before their
+    load; a single full fence cannot do it (cf. ``synthesize_fences``).
+    """
+    b = LitmusBuilder(
+        "dekker+half",
+        locations=("a", "b"),
+        description="One-sided full fence does not fix Dekker.",
+    )
+    b.proc().st("a", 1).fence("full").ld("r1", "b")
+    b.proc().st("b", 1).ld("r2", "a")
+    return b.build(
+        asked={"P0.r1": 0, "P1.r2": 0},
+        expect={
+            "sc": False,
+            "tso": True,
+            "gam": True,
+            "gam0": True,
+            "arm": True,
+            "wmm": True,
+            "alpha_like": True,
+        },
+    )
+
+
+def rwc() -> LitmusTest:
+    """RWC (read-to-write causality) with fences: atomic memory forbids it."""
+    b = LitmusBuilder(
+        "rwc",
+        locations=("a", "b"),
+        description="Fenced RWC; forbidden by every atomic memory model.",
+    )
+    b.proc().st("a", 1)
+    b.proc().ld("r1", "a").fence("LL").ld("r2", "b")
+    b.proc().st("b", 1).fence("SL").ld("r3", "a")
+    return b.build(
+        asked={"P1.r1": 1, "P1.r2": 0, "P2.r3": 0},
+        expect={
+            "sc": False,
+            "tso": False,
+            "gam": False,
+            "gam0": False,
+            "arm": False,
+            "wmm": False,
+            "alpha_like": False,
+        },
+    )
+
+
+def corr3() -> LitmusTest:
+    """CoRR3: three same-address loads cannot observe a value downgrade.
+
+    Reading 2, then 1, then 2 again would need the middle load to travel
+    back in coherence order; SALdLd (and SALdLdARM — three different
+    stores) forbid it, GAM0 allows it.
+    """
+    b = LitmusBuilder(
+        "corr3",
+        locations=("a",),
+        description="Monotone same-address reads (per-location SC, 3 loads).",
+    )
+    b.proc().st("a", 1).st("a", 2)
+    b.proc().ld("r1", "a").ld("r2", "a").ld("r3", "a")
+    return b.build(
+        asked={"P1.r1": 2, "P1.r2": 1, "P1.r3": 2},
+        expect={
+            "sc": False,
+            "tso": False,
+            "gam": False,
+            "gam0": True,
+            "arm": False,
+            "wmm": True,
+            "alpha_like": True,
+        },
+    )
+
+
+def wwc() -> LitmusTest:
+    """WWC (write-to-write causality): the dependent store cannot lose.
+
+    P2's store address depends on reading P1's relay of P0's store, so it
+    must be coherence-after ``St [a] 2``; final ``a = 2`` is forbidden by
+    every model with dependency (or load-to-store) ordering.
+    """
+    b = LitmusBuilder(
+        "wwc",
+        locations=("a", "b"),
+        description="Dependent store ordered after the observed store.",
+    )
+    b.proc().st("a", 2)
+    b.proc().ld("r1", "a").st("b", "r1")
+    (
+        b.proc()
+        .ld("r2", "b")
+        .op("rt", b.loc("a") + "r2" - "r2")
+        .st("rt", 1)
+    )
+    return b.build(
+        asked={"P1.r1": 2, "P2.r2": 2, "a": 2},
+        expect={
+            "sc": False,
+            "tso": False,
+            "gam": False,
+            "gam0": False,
+            "arm": False,
+            "wmm": False,
+            "alpha_like": True,
+        },
+    )
+
+
+def mp_acquire_release() -> LitmusTest:
+    """Message passing with the composite release/acquire fences (§III-D1).
+
+    Release = FenceLS;FenceSS before the flag store, acquire =
+    FenceLL;FenceLS after the flag load: the portable publication idiom,
+    forbidden by every model that honours fences.
+    """
+    b = LitmusBuilder(
+        "mp+release-acquire",
+        locations=("a", "b"),
+        description="Composite release/acquire fences restore publication.",
+    )
+    b.proc().st("a", 1).fence("release").st("b", 1)
+    b.proc().ld("r1", "b").fence("acquire").ld("r2", "a")
+    return b.build(
+        asked={"P1.r1": 1, "P1.r2": 0},
+        expect={
+            "sc": False,
+            "tso": False,
+            "gam": False,
+            "gam0": False,
+            "arm": False,
+            "wmm": False,
+            "alpha_like": False,
+        },
+    )
+
+
+def r_test() -> LitmusTest:
+    """The classic R test: only SC forbids it.
+
+    ``b = 2`` finally and ``r1 = 0`` needs P1's load hoisted above its own
+    store to a different address — the store-to-load relaxation every
+    model here except SC provides (TSO's store buffer included).
+    """
+    b = LitmusBuilder(
+        "r",
+        locations=("a", "b"),
+        description="R: store-to-load reordering; SC alone forbids.",
+    )
+    b.proc().st("a", 1).st("b", 1)
+    b.proc().st("b", 2).ld("r1", "a")
+    return b.build(
+        asked={"b": 2, "P1.r1": 0},
+        expect={
+            "sc": False,
+            "tso": True,
+            "gam": True,
+            "gam0": True,
+            "arm": True,
+            "wmm": True,
+            "alpha_like": True,
+        },
+    )
+
+
+def rmw_swap() -> LitmusTest:
+    """Competing atomic swaps: at most one processor reads the old value.
+
+    The RMW extension of Section III-C: both swaps access memory
+    atomically, so ``r1 = r2 = 1`` (both reading the other's store) and
+    ``r1 = r2 = 0`` (both reading the initial value) are impossible under
+    *every* model — atomicity is orthogonal to ordering relaxations.
+    """
+    b = LitmusBuilder(
+        "rmw-swap",
+        locations=("a",),
+        description="Two atomic swaps; exactly one observes the init value.",
+    )
+    b.proc().rmw("r1", "a", 1)
+    b.proc().rmw("r2", "a", 1)
+    return b.build(
+        asked={"P0.r1": 1, "P1.r2": 1},
+        expect={
+            "sc": False,
+            "tso": False,
+            "gam": False,
+            "gam0": False,
+            "arm": False,
+            "wmm": False,
+            "alpha_like": False,
+        },
+    )
+
+
+def rmw_fetch_add() -> LitmusTest:
+    """Two fetch-and-adds never lose an update: final memory must be 2."""
+    from ..isa.expr import Reg
+
+    b = LitmusBuilder(
+        "rmw-fetch-add",
+        locations=("a",),
+        description="Concurrent fetch-and-add; the lost update is impossible.",
+    )
+    b.proc().rmw("r1", "a", Reg("r1") + 1)
+    b.proc().rmw("r2", "a", Reg("r2") + 1)
+    return b.build(
+        asked={"a": 1},
+        expect={
+            "sc": False,
+            "tso": False,
+            "gam": False,
+            "gam0": False,
+            "arm": False,
+            "wmm": False,
+            "alpha_like": False,
+        },
+    )
+
+
+def rmw_no_forward() -> LitmusTest:
+    """A load after a same-address RMW sees it (SARmwLd; no forwarding).
+
+    The RMW writes memory at execution, so the younger load is ordered
+    after it and must observe its store — even in models without any
+    same-address load-load ordering.
+    """
+    b = LitmusBuilder(
+        "rmw+ld",
+        locations=("a",),
+        description="RMW then load: the load observes the RMW's store.",
+    )
+    b.proc().rmw("r1", "a", 7).ld("r2", "a")
+    b.proc().st("a", 3)
+    return b.build(
+        asked={"P0.r1": 0, "P0.r2": 0},
+        expect={
+            "sc": False,
+            "tso": False,
+            "gam": False,
+            "gam0": False,
+            "arm": False,
+            "wmm": False,
+            "alpha_like": False,
+        },
+    )
+
+
+def s_test() -> LitmusTest:
+    """The S test: load-to-store reordering on P1.
+
+    Models that order loads before younger stores (SC, TSO, WMM) forbid
+    ``r1 = 1`` with final ``a = 2``; GAM allows it.
+    """
+    b = LitmusBuilder(
+        "s",
+        locations=("a", "b"),
+        description="S: GAM's load-store reordering is observable.",
+    )
+    b.proc().st("a", 2).fence("SS").st("b", 1)
+    b.proc().ld("r1", "b").st("a", 1)
+    return b.build(
+        asked={"P1.r1": 1, "a": 2},
+        expect={
+            "sc": False,
+            "tso": False,
+            "gam": True,
+            "gam0": True,
+            "arm": True,
+            "wmm": False,
+            "alpha_like": True,
+        },
+    )
+
+
+STANDARD_TESTS = {
+    fn().name: fn
+    for fn in (
+        mp,
+        mp_fences,
+        mp_ctrl,
+        dekker_full_fence,
+        lb,
+        lb_data_both,
+        lb_ctrl_both,
+        lb_addrpo_st,
+        wrc,
+        iriw,
+        iriw_fences,
+        coww,
+        corw1,
+        cowr,
+        two_plus_two_w,
+        two_plus_two_w_fences,
+        isa2,
+        three_2w,
+        dekker_half_fence,
+        rwc,
+        corr3,
+        wwc,
+        mp_acquire_release,
+        r_test,
+        rmw_swap,
+        rmw_fetch_add,
+        rmw_no_forward,
+        s_test,
+    )
+}
+"""Mapping from test name to builder for the classic suite."""

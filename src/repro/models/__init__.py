@@ -1,0 +1,5 @@
+"""The memory-model zoo: GAM, GAM0, ARM, WMM-like, Alpha-like, SC, TSO."""
+
+from .registry import MODELS, comparison_models, get_model, model_names
+
+__all__ = ["MODELS", "get_model", "model_names", "comparison_models"]

@@ -1,0 +1,35 @@
+"""An Alpha-like maximally relaxed atomic model (Section II-C).
+
+Alpha allows reordering of *dependent* instructions; its official
+definition avoids out-of-thin-air behaviours only through a complicated
+look-at-all-execution-paths axiom (Alpha handbook, Chapter 5.6.1.7) that
+the paper criticizes and that we deliberately do not implement.  This model
+therefore keeps just same-address-store coherence and fences — and
+exhibits OOTA (Figure 5) exactly as the paper warns.  It is the axiomatic
+companion of the ``ALPHA_STAR`` simulator policy, which additionally
+performs load-load data forwarding.
+"""
+
+from __future__ import annotations
+
+from ..core.axiomatic import MemoryModel
+from ..core.ppo import FenceOrd, SAMemSt, SARmwLd
+
+__all__ = ["model"]
+
+
+def model() -> MemoryModel:
+    """Alpha-like: no dependency ordering of any kind; OOTA-unsound."""
+    return MemoryModel(
+        name="alpha_like",
+        clauses=(
+            SAMemSt(),
+            SARmwLd(),
+            FenceOrd(),
+        ),
+        load_value="gam",
+        description=(
+            "Alpha-like relaxation: no dependency, branch or same-address "
+            "load ordering; demonstrates the OOTA problem."
+        ),
+    )

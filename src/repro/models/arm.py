@@ -1,0 +1,29 @@
+"""The ARM alternative: GAM0 + SALdLdARM (Section III-E2).
+
+ARMv8-style same-address load-load ordering only constrains loads that read
+from *different* stores.  Strictly weaker than GAM's SALdLd — it allows RSW
+(Figure 14c) while forbidding RNSW (Figure 14d), the asymmetry the paper
+argues against.  Because the constraint depends on the read-from relation it
+is a dynamic clause, checked against each candidate execution.
+"""
+
+from __future__ import annotations
+
+from ..core.axiomatic import MemoryModel
+from ..core.construction import assemble
+
+__all__ = ["model"]
+
+
+def model() -> MemoryModel:
+    """GAM0 strengthened with ARM's rf-sensitive load-load constraint."""
+    return assemble(
+        "arm",
+        dependency_ordering=True,
+        speculative_stores=False,
+        same_address_loads="arm",
+        description=(
+            "GAM0 + SALdLdARM: same-address loads reading different stores "
+            "stay ordered (ARMv8-style)."
+        ),
+    )

@@ -1,0 +1,29 @@
+"""GAM — the paper's General Atomic Memory Model (Definition 6 + Figure 15).
+
+GAM = the uniprocessor constraints of Figure 7, lifted to atomic memory by
+LMOrd/LdVal (Figure 11), plus fences (Figure 12) and the SALdLd
+same-address load-load constraint that restores per-location SC
+(Section III-E1).  All four load/store reorderings remain allowed.
+"""
+
+from __future__ import annotations
+
+from ..core.axiomatic import MemoryModel
+from ..core.construction import assemble
+
+__all__ = ["model"]
+
+
+def model() -> MemoryModel:
+    """GAM, assembled through the paper's construction procedure."""
+    gam = assemble(
+        "gam",
+        dependency_ordering=True,
+        speculative_stores=False,
+        same_address_loads="saldld",
+        description=(
+            "General Atomic Memory Model: all four reorderings, syntactic "
+            "dependency ordering, per-location SC."
+        ),
+    )
+    return gam

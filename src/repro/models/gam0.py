@@ -1,0 +1,29 @@
+"""GAM0 — the initial model of Section III-D (GAM without SALdLd).
+
+GAM0 violates per-location SC only for consecutive same-address loads
+(the CoRR test), which is why the paper strengthens it into GAM.  The paper
+also notes GAM0 can be read as a *corrected* RMO: both allow same-address
+load-load reordering, but RMO's dependency-ordering definition accidentally
+forbids speculative-load + store-forwarding implementations, which GAM0's
+construction avoids.  The registry aliases ``"rmo"`` to this model.
+"""
+
+from __future__ import annotations
+
+from ..core.axiomatic import MemoryModel
+from ..core.construction import assemble
+
+__all__ = ["model"]
+
+
+def model() -> MemoryModel:
+    """GAM0: the constructed base model with fences, before SALdLd."""
+    return assemble(
+        "gam0",
+        dependency_ordering=True,
+        speculative_stores=False,
+        same_address_loads="none",
+        description=(
+            "GAM without same-address load-load ordering; a corrected RMO."
+        ),
+    )

@@ -1,0 +1,33 @@
+"""Per-location SC as a yardstick pseudo-model (Section III-E).
+
+The paper evaluates SALdLd variants against "what per-location SC would
+say".  This pseudo-model imposes *no* cross-address ordering at all, only
+coherence: executions must be per-address sequentializable (the
+``requires_coherence`` check).  Its verdicts on CoRR / RSW / RNSW match the
+per-location SC column of Figure 14.
+"""
+
+from __future__ import annotations
+
+from ..core.axiomatic import MemoryModel
+from ..core.ppo import FenceOrd, SAMemSt, SARmwLd
+
+__all__ = ["model"]
+
+
+def model() -> MemoryModel:
+    """The weakest coherent model: used to state per-location SC verdicts."""
+    return MemoryModel(
+        name="plsc",
+        clauses=(
+            SAMemSt(),
+            SARmwLd(),
+            FenceOrd(),
+        ),
+        load_value="gam",
+        requires_coherence=True,
+        description=(
+            "Per-location SC yardstick: coherence only, no cross-address "
+            "ordering constraints."
+        ),
+    )

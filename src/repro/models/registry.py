@@ -1,0 +1,47 @@
+"""Name -> memory model lookup for the whole model zoo."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.axiomatic import MemoryModel
+from . import alpha, arm, gam, gam0, plsc, sc, tso, wmm
+
+__all__ = ["MODELS", "get_model", "model_names", "comparison_models"]
+
+MODELS: dict[str, Callable[[], MemoryModel]] = {
+    "sc": sc.model,
+    "sc-gamlv": sc.model_with_gam_load_value,
+    "tso": tso.model,
+    "gam": gam.model,
+    "gam0": gam0.model,
+    "rmo": gam0.model,  # the paper: GAM0 is a corrected RMO
+    "arm": arm.model,
+    "wmm": wmm.model,
+    "alpha_like": alpha.model,
+    "plsc": plsc.model,
+}
+"""Model factories by registry name (``"rmo"`` aliases ``"gam0"``)."""
+
+
+def model_names() -> tuple[str, ...]:
+    """All registered model names."""
+    return tuple(MODELS)
+
+
+def get_model(name: str) -> MemoryModel:
+    """Instantiate the model registered under ``name``.
+
+    Raises ``KeyError`` listing the available names on a miss.
+    """
+    if name not in MODELS:
+        raise KeyError(f"unknown model {name!r}; available: {', '.join(MODELS)}")
+    return MODELS[name]()
+
+
+def comparison_models() -> tuple[MemoryModel, ...]:
+    """The models used in verdict matrices, strongest first."""
+    return tuple(
+        get_model(name)
+        for name in ("sc", "tso", "gam", "gam0", "arm", "wmm", "alpha_like", "plsc")
+    )

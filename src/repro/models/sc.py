@@ -1,0 +1,47 @@
+"""Sequential consistency (Figure 3): the strongest baseline.
+
+SC preserves every program-order pair in the global memory order
+(InstOrderSC) and reads come from the youngest memory-order-earlier store
+(LoadValueSC).  Expressed in the clause framework, ppo is all four
+pairwise-order instantiations; the ``"sc"`` load-value mode selects the
+``<mo``-only LoadValue axiom.
+"""
+
+from __future__ import annotations
+
+from ..core.axiomatic import MemoryModel
+from ..core.ppo import FenceOrd, PairwiseOrder
+
+__all__ = ["model", "model_with_gam_load_value"]
+
+
+def model() -> MemoryModel:
+    """SC exactly as in Figure 3."""
+    return MemoryModel(
+        name="sc",
+        clauses=(
+            PairwiseOrder("L", "L"),
+            PairwiseOrder("L", "S"),
+            PairwiseOrder("S", "L"),
+            PairwiseOrder("S", "S"),
+            FenceOrd(),
+        ),
+        load_value="sc",
+        description="Sequential consistency (Lamport); no reordering at all.",
+    )
+
+
+def model_with_gam_load_value() -> MemoryModel:
+    """SC with the GAM LoadValue axiom instead of LoadValueSC.
+
+    Because InstOrderSC already places program-order-earlier stores earlier
+    in ``<mo``, the two load-value axioms coincide under SC; the equivalence
+    is unit-tested, which validates both the axiom implementations.
+    """
+    base = model()
+    return MemoryModel(
+        name="sc-gamlv",
+        clauses=base.clauses,
+        load_value="gam",
+        description="SC with LoadValueGAM; provably equivalent to sc.",
+    )

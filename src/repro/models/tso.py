@@ -1,0 +1,30 @@
+"""Total Store Order: the x86-style baseline the paper contrasts with.
+
+TSO relaxes exactly one ordering relative to SC — a store followed by a
+younger load (to a different address) may commit after the load executes,
+because the store can sit in a private store buffer.  Loads may read the
+local buffered store early, which is precisely the program-order arm of the
+GAM LoadValue axiom, so ``load_value="gam"`` models x86-style forwarding.
+"""
+
+from __future__ import annotations
+
+from ..core.axiomatic import MemoryModel
+from ..core.ppo import FenceOrd, PairwiseOrder
+
+__all__ = ["model"]
+
+
+def model() -> MemoryModel:
+    """TSO: SC minus store-to-load ordering, plus store forwarding."""
+    return MemoryModel(
+        name="tso",
+        clauses=(
+            PairwiseOrder("L", "L"),
+            PairwiseOrder("L", "S"),
+            PairwiseOrder("S", "S"),
+            FenceOrd(),
+        ),
+        load_value="gam",
+        description="Total Store Order with store-buffer forwarding.",
+    )

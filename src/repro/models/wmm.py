@@ -1,0 +1,38 @@
+"""A WMM-like model (reference [43] of the paper).
+
+WMM takes the opposite trade to GAM: it relaxes dependency ordering
+*completely* (no RegRAW/SAStLd/AddrSt/BrSt) but always enforces
+load-to-store ordering, which is what keeps out-of-thin-air values away
+without reasoning about dependencies.  The observable signatures used in
+the test suite: WMM forbids plain LB and OOTA, yet allows MP+addr (no
+dependency ordering).
+
+This is a faithful *shape* of WMM sufficient for the paper's comparisons,
+not a verbatim transcription of the WMM paper (which uses invalidation
+buffers for its operational story).
+"""
+
+from __future__ import annotations
+
+from ..core.axiomatic import MemoryModel
+from ..core.ppo import FenceOrd, PairwiseOrder, SAMemSt, SARmwLd
+
+__all__ = ["model"]
+
+
+def model() -> MemoryModel:
+    """WMM-like: load-to-store ordering instead of dependency ordering."""
+    return MemoryModel(
+        name="wmm",
+        clauses=(
+            SAMemSt(),
+            SARmwLd(),
+            PairwiseOrder("L", "S"),
+            FenceOrd(),
+        ),
+        load_value="gam",
+        description=(
+            "WMM-like [43]: no dependency ordering, loads always ordered "
+            "before younger stores (OOTA-free by construction)."
+        ),
+    )

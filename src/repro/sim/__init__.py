@@ -1,0 +1,27 @@
+"""The timing-simulation substrate: OOO core, caches, model policies."""
+
+from .cache import CacheHierarchy, CacheLevel
+from .config import CacheConfig, CoreConfig
+from .core import OOOCore, simulate
+from .policies import ALL_POLICIES, ALPHA_STAR, ARM, GAM, GAM0, ModelPolicy
+from .stats import SimStats
+from .uops import Trace, Uop, UopKind
+
+__all__ = [
+    "OOOCore",
+    "simulate",
+    "CoreConfig",
+    "CacheConfig",
+    "CacheHierarchy",
+    "CacheLevel",
+    "ModelPolicy",
+    "GAM",
+    "ARM",
+    "GAM0",
+    "ALPHA_STAR",
+    "ALL_POLICIES",
+    "SimStats",
+    "Trace",
+    "Uop",
+    "UopKind",
+]

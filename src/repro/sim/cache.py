@@ -1,0 +1,154 @@
+"""A non-blocking three-level cache hierarchy with LRU and MSHRs.
+
+This stands in for GEM5's "classic memory system" (Table I): 64B lines,
+write-back write-allocate, per-level MSHR limits, and a flat 200-cycle
+memory behind L3.  Tag state is modelled exactly (so hit/miss sequences are
+deterministic and repeatable); contention is modelled through MSHR
+occupancy windows rather than per-packet queuing, which preserves the
+statistics the evaluation needs (hit/miss counts per level and load
+latency) at a fraction of the cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .config import CacheConfig, CoreConfig
+
+__all__ = ["CacheLevel", "CacheHierarchy", "AccessResult"]
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one hierarchy access.
+
+    Attributes:
+        ready_cycle: cycle at which the data is available to the core.
+        level: ``"l1" | "l2" | "l3" | "mem"`` — where the access hit.
+    """
+
+    ready_cycle: int
+    level: str
+
+
+class CacheLevel:
+    """One set-associative write-back cache level with LRU replacement."""
+
+    def __init__(self, name: str, config: CacheConfig) -> None:
+        self.name = name
+        self.config = config
+        self._sets: list[list[int]] = [[] for _ in range(config.num_sets)]
+        self._mshr_busy_until: list[int] = []
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def _index_tag(self, addr: int) -> tuple[int, int]:
+        line = addr // self.config.line_bytes
+        return line % self.config.num_sets, line // self.config.num_sets
+
+    def probe(self, addr: int) -> bool:
+        """Non-destructive lookup: would this address hit right now?"""
+        index, tag = self._index_tag(addr)
+        return tag in self._sets[index]
+
+    def lookup(self, addr: int) -> bool:
+        """Lookup with LRU update; returns hit/miss and counts it."""
+        index, tag = self._index_tag(addr)
+        ways = self._sets[index]
+        if tag in ways:
+            ways.remove(tag)
+            ways.append(tag)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def insert(self, addr: int) -> Optional[int]:
+        """Fill a line, evicting LRU if the set is full.
+
+        Returns the evicted line's base address (for statistics), or None.
+        """
+        index, tag = self._index_tag(addr)
+        ways = self._sets[index]
+        evicted = None
+        if tag in ways:
+            ways.remove(tag)
+        elif len(ways) >= self.config.ways:
+            victim = ways.pop(0)
+            evicted = (victim * self.config.num_sets + index) * self.config.line_bytes
+            self.evictions += 1
+        ways.append(tag)
+        return evicted
+
+    def mshr_available(self, now: int) -> bool:
+        """True if an MSHR can be allocated at cycle ``now``."""
+        self._mshr_busy_until = [t for t in self._mshr_busy_until if t > now]
+        return len(self._mshr_busy_until) < self.config.mshrs
+
+    def allocate_mshr(self, until: int) -> None:
+        """Occupy one MSHR until the given cycle."""
+        self._mshr_busy_until.append(until)
+
+
+class CacheHierarchy:
+    """L1D + L2 + L3 + memory, as a single access-latency oracle.
+
+    ``access`` walks the levels, fills upward on a miss, and returns when
+    the data arrives.  When a level's MSHRs are exhausted the *miss
+    penalty grows* by the wait for the oldest outstanding miss — a
+    contention approximation that keeps the model single-pass.
+    """
+
+    def __init__(self, config: CoreConfig) -> None:
+        self.config = config
+        self.l1 = CacheLevel("l1", config.l1d)
+        self.l2 = CacheLevel("l2", config.l2)
+        self.l3 = CacheLevel("l3", config.l3)
+        self.memory_accesses = 0
+
+    def _miss_start(self, level: CacheLevel, now: int) -> int:
+        """Cycle at which a miss can start occupying an MSHR at ``level``."""
+        if level.mshr_available(now):
+            return now
+        earliest = min(level._mshr_busy_until)
+        return earliest
+
+    def access(self, addr: int, now: int, is_store: bool = False) -> AccessResult:
+        """One load/store access starting at cycle ``now``.
+
+        Stores take the same path (write-allocate); their latency matters
+        because a store-buffer entry is held until the write completes.
+        """
+        t = now + self.l1.config.hit_latency
+        if self.l1.lookup(addr):
+            return AccessResult(ready_cycle=t, level="l1")
+        start = self._miss_start(self.l1, t)
+        t = start + self.l2.config.hit_latency
+        if self.l2.lookup(addr):
+            self.l1.insert(addr)
+            self.l1.allocate_mshr(t)
+            return AccessResult(ready_cycle=t, level="l2")
+        start = self._miss_start(self.l2, t)
+        t = start + self.l3.config.hit_latency
+        if self.l3.lookup(addr):
+            self.l2.insert(addr)
+            self.l1.insert(addr)
+            self.l1.allocate_mshr(t)
+            self.l2.allocate_mshr(t)
+            return AccessResult(ready_cycle=t, level="l3")
+        start = self._miss_start(self.l3, t)
+        t = start + self.config.memory_latency
+        self.memory_accesses += 1
+        self.l3.insert(addr)
+        self.l2.insert(addr)
+        self.l1.insert(addr)
+        self.l1.allocate_mshr(t)
+        self.l2.allocate_mshr(t)
+        self.l3.allocate_mshr(t)
+        return AccessResult(ready_cycle=t, level="mem")
+
+    def would_miss_l1(self, addr: int) -> bool:
+        """Non-destructive L1 miss test (used for Table III's analysis)."""
+        return not self.l1.probe(addr)

@@ -1,0 +1,121 @@
+"""Simulator configuration: Table I of the paper, encoded as defaults.
+
+``CoreConfig.haswell_like()`` reproduces the paper's processor parameters:
+4-wide fetch/commit, 6-wide issue, 192-entry ROB, 60-entry reservation
+station, 72-entry load buffer, 42-entry store buffer, the listed function
+units, and the 3-level cache hierarchy with 200-cycle memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .uops import UopKind
+
+__all__ = ["CacheConfig", "CoreConfig"]
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """One cache level.
+
+    Attributes:
+        size_kb: capacity in KiB.
+        ways: associativity.
+        line_bytes: line size (64B throughout, per Table I).
+        hit_latency: access latency in cycles.
+        mshrs: maximum outstanding misses.
+    """
+
+    size_kb: int
+    ways: int
+    hit_latency: int
+    mshrs: int
+    line_bytes: int = 64
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets implied by size/ways/line size."""
+        return (self.size_kb * 1024) // (self.ways * self.line_bytes)
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Out-of-order core parameters (Table I).
+
+    The latency table maps uOP kinds to execution latencies; memory-op
+    latency is address generation plus the cache access determined by the
+    hierarchy at run time.
+    """
+
+    fetch_width: int = 4
+    issue_width: int = 6
+    writeback_width: int = 6
+    commit_width: int = 4
+    rob_entries: int = 192
+    rs_entries: int = 60
+    lb_entries: int = 72
+    sb_entries: int = 42
+    int_alu_units: int = 4
+    int_mul_units: int = 1
+    int_div_units: int = 1
+    fp_alu_units: int = 2
+    fp_mul_units: int = 1
+    fp_div_units: int = 1
+    lsu_units: int = 2
+    mispredict_penalty: int = 12
+    kill_penalty: int = 10
+    latencies: tuple[tuple[UopKind, int], ...] = (
+        (UopKind.INT_ALU, 1),
+        (UopKind.INT_MUL, 3),
+        (UopKind.INT_DIV, 20),
+        (UopKind.FP_ALU, 3),
+        (UopKind.FP_MUL, 5),
+        (UopKind.FP_DIV, 24),
+        (UopKind.BRANCH, 1),
+    )
+    l1d: CacheConfig = CacheConfig(size_kb=32, ways=8, hit_latency=4, mshrs=8)
+    l2: CacheConfig = CacheConfig(size_kb=256, ways=8, hit_latency=12, mshrs=20)
+    l3: CacheConfig = CacheConfig(size_kb=1024, ways=16, hit_latency=35, mshrs=30)
+    memory_latency: int = 200
+
+    @classmethod
+    def haswell_like(cls) -> "CoreConfig":
+        """The exact Table I configuration (also the default constructor)."""
+        return cls()
+
+    @classmethod
+    def tiny(cls) -> "CoreConfig":
+        """A scaled-down core for fast unit tests (same mechanisms)."""
+        return cls(
+            rob_entries=16,
+            rs_entries=8,
+            lb_entries=8,
+            sb_entries=4,
+            l1d=CacheConfig(size_kb=1, ways=2, hit_latency=2, mshrs=2),
+            l2=CacheConfig(size_kb=4, ways=2, hit_latency=6, mshrs=4),
+            l3=CacheConfig(size_kb=16, ways=4, hit_latency=12, mshrs=4),
+            memory_latency=40,
+        )
+
+    def latency_of(self, kind: UopKind) -> int:
+        """Fixed execution latency for non-memory kinds."""
+        for uop_kind, latency in self.latencies:
+            if uop_kind == kind:
+                return latency
+        raise KeyError(f"no fixed latency for {kind}")
+
+    def units_of(self, kind: UopKind) -> int:
+        """Number of function units able to execute ``kind``."""
+        units = {
+            UopKind.INT_ALU: self.int_alu_units,
+            UopKind.INT_MUL: self.int_mul_units,
+            UopKind.INT_DIV: self.int_div_units,
+            UopKind.FP_ALU: self.fp_alu_units,
+            UopKind.FP_MUL: self.fp_mul_units,
+            UopKind.FP_DIV: self.fp_div_units,
+            UopKind.LOAD: self.lsu_units,
+            UopKind.STORE: self.lsu_units,
+            UopKind.BRANCH: self.int_alu_units,
+        }
+        return units[kind]

@@ -1,0 +1,55 @@
+"""The four memory-model variants evaluated in Section V.
+
+Each policy configures the load-scheduling rules of the OOO core; nothing
+else differs between the simulated machines, exactly as in the paper:
+
+* **GAM**  — SALdLd kills *and* stalls; no load-load data forwarding.
+* **ARM**  — SALdLdARM: stalls only ("we ignore the kills when loads read
+  values from the memory system, so the performance of ARM is an
+  optimistic estimation" — Section V-A).
+* **GAM0** — no same-address load-load mechanism at all (corrected RMO).
+* **Alpha**** — GAM0 plus load-load data forwarding (the Alpha-style
+  relaxation that breaks dependency ordering).
+
+Store-address conflict kills (a younger load that executed before an older
+same-address store resolved) are part of LdVal correctness and are enabled
+in every policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ModelPolicy", "GAM", "ARM", "GAM0", "ALPHA_STAR", "ALL_POLICIES"]
+
+
+@dataclass(frozen=True)
+class ModelPolicy:
+    """Load-scheduling rules for one simulated memory model.
+
+    Attributes:
+        name: display name (matches the paper's Figure 18 legend).
+        saldld_kills: on a load's address resolution, kill younger done
+            same-address loads that did not forward from a younger store.
+        saldld_stalls: a load ready to execute stalls behind an older
+            same-address load that has not started execution (with no
+            intervening same-address store to forward from).
+        ldld_forwarding: a load may take its value from an older *done*
+            same-address load instead of accessing the memory system.
+    """
+
+    name: str
+    saldld_kills: bool
+    saldld_stalls: bool
+    ldld_forwarding: bool
+
+
+GAM = ModelPolicy("GAM", saldld_kills=True, saldld_stalls=True, ldld_forwarding=False)
+ARM = ModelPolicy("ARM", saldld_kills=False, saldld_stalls=True, ldld_forwarding=False)
+GAM0 = ModelPolicy("GAM0", saldld_kills=False, saldld_stalls=False, ldld_forwarding=False)
+ALPHA_STAR = ModelPolicy(
+    "Alpha*", saldld_kills=False, saldld_stalls=False, ldld_forwarding=True
+)
+
+ALL_POLICIES = (GAM, ARM, GAM0, ALPHA_STAR)
+"""The four policies of Figure 18, baseline (GAM) first."""

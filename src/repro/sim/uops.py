@@ -1,0 +1,85 @@
+"""Micro-operations and traces for the timing simulator.
+
+The paper's evaluation runs GEM5's O3 model on SPEC CPU2006 and reports
+per-uOP statistics ("since GEM5 cracks an instruction into micro-ops, we
+use uOP counts").  Our simulator is trace-driven at the same granularity: a
+workload is a sequence of :class:`Uop` records carrying register
+dependencies, resolved effective addresses and branch-misprediction flags.
+The *timing* of address resolution still emerges from the pipeline (a
+load's address is known only once its source registers are produced), which
+is what lets same-address load-load kills and stalls arise naturally.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+__all__ = ["UopKind", "Uop", "Trace", "NUM_ARCH_REGS"]
+
+NUM_ARCH_REGS = 32
+"""Architectural integer/FP registers visible to the trace generator."""
+
+
+class UopKind(enum.Enum):
+    """Functional classes, matching the Table I function units."""
+
+    INT_ALU = "int_alu"
+    INT_MUL = "int_mul"
+    INT_DIV = "int_div"
+    FP_ALU = "fp_alu"
+    FP_MUL = "fp_mul"
+    FP_DIV = "fp_div"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+
+    @property
+    def is_memory(self) -> bool:
+        """True for loads and stores."""
+        return self in (UopKind.LOAD, UopKind.STORE)
+
+
+@dataclass(slots=True)
+class Uop:
+    """One dynamic micro-operation.
+
+    Attributes:
+        kind: functional class.
+        dst: destination architectural register, or ``None``.
+        srcs: source registers (address sources for memory ops).
+        addr: cache-line-aligned-ish effective address for memory ops.
+        mispredicted: for branches, whether the front end mispredicts it.
+    """
+
+    kind: UopKind
+    dst: Optional[int] = None
+    srcs: tuple[int, ...] = ()
+    addr: Optional[int] = None
+    mispredicted: bool = False
+
+
+@dataclass
+class Trace:
+    """A named dynamic uOP stream plus provenance metadata."""
+
+    name: str
+    uops: list[Uop] = field(default_factory=list)
+    seed: Optional[int] = None
+
+    def __len__(self) -> int:
+        return len(self.uops)
+
+    def __iter__(self):
+        return iter(self.uops)
+
+    def __getitem__(self, index: int) -> Uop:
+        return self.uops[index]
+
+    def kind_counts(self) -> dict[UopKind, int]:
+        """Histogram of uOP kinds (used to sanity-check generated mixes)."""
+        counts: dict[UopKind, int] = {}
+        for uop in self.uops:
+            counts[uop.kind] = counts.get(uop.kind, 0) + 1
+        return counts

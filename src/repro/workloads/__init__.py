@@ -1,0 +1,12 @@
+"""SPEC CPU2006 stand-ins: 55 named profiles + deterministic trace synthesis."""
+
+from .generator import generate_trace
+from .profiles import PROFILES, WorkloadProfile, get_profile, profile_names
+
+__all__ = [
+    "WorkloadProfile",
+    "PROFILES",
+    "get_profile",
+    "profile_names",
+    "generate_trace",
+]

@@ -1,0 +1,219 @@
+"""Deterministic synthesis of uOP traces from workload profiles.
+
+The generator turns a :class:`~repro.workloads.profiles.WorkloadProfile`
+into a concrete dynamic uOP stream with:
+
+* register dataflow: every value-producing uOP writes a rotating
+  architectural register; consumers pick recent producers with probability
+  ``dep_density`` (creating realistic wake-up chains);
+* address streams: per-load/store choice among stride streaming, a hot
+  reused region, cold random accesses over the working set, and pointer
+  chasing (the load's address sources include the previous chase load's
+  destination, so address resolution is late);
+* **same-address reuse patterns**: with probability ``reload_frac`` a load
+  re-reads a recently accessed address (fodder for load-load forwarding);
+  with probability ``reload_conflict_frac`` the generator emits the
+  adversarial pair the paper's SALdLd mechanisms exist for — an older
+  access whose address depends on an in-flight chain, followed shortly by
+  a younger ready-address access to the *same* line;
+* branches flagged mispredicted at the profile's rate.
+
+Generation is fully deterministic given ``(profile, length, seed)``.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Optional
+
+from ..sim.uops import NUM_ARCH_REGS, Trace, Uop, UopKind
+from .profiles import WorkloadProfile
+
+__all__ = ["generate_trace"]
+
+_LINE = 64
+
+
+class _TraceBuilder:
+    """Internal mutable state for one generation run."""
+
+    def __init__(self, profile: WorkloadProfile, seed: int) -> None:
+        self.profile = profile
+        self.rng = random.Random((hash(profile.name) ^ seed) & 0xFFFFFFFF)
+        self.uops: list[Uop] = []
+        self.next_reg = 0
+        self.recent_dsts: deque[int] = deque(maxlen=8)
+        self.recent_addrs: deque[int] = deque(maxlen=32)
+        self.recent_stores: deque[int] = deque(maxlen=16)
+        self.chase_reg: Optional[int] = None
+        self.stride_pos = 0
+        self.ws_bytes = profile.working_set_kb * 1024
+        self.ws_lines = max(1, self.ws_bytes // _LINE)
+        hot_bytes = profile.hot_set_kb * 1024
+        self.hot_lines = max(1, hot_bytes // _LINE)
+        # Deferred adversarial pairs: (countdown, addr) — emit the younger
+        # ready-address access a few uOPs after the late-address one.
+        self.pending_conflicts: list[list] = []
+
+    # -- registers -----------------------------------------------------------
+
+    def alloc_dst(self) -> int:
+        reg = self.next_reg
+        self.next_reg = (self.next_reg + 1) % NUM_ARCH_REGS
+        return reg
+
+    def pick_src(self) -> tuple[int, ...]:
+        if self.recent_dsts and self.rng.random() < self.profile.dep_density:
+            return (self.rng.choice(tuple(self.recent_dsts)),)
+        return ()
+
+    def pick_addr_src(self) -> tuple[int, ...]:
+        """Address sources: real code mostly uses stable base registers."""
+        if self.recent_dsts and self.rng.random() < self.profile.addr_dep_frac:
+            return (self.rng.choice(tuple(self.recent_dsts)),)
+        return ()
+
+    # -- addresses -------------------------------------------------------------
+
+    def _cold_addr(self) -> int:
+        return self.rng.randrange(self.ws_lines) * _LINE
+
+    def _hot_addr(self) -> int:
+        # Word-granular so unrelated accesses rarely share an exact address.
+        return self.rng.randrange(self.hot_lines * (_LINE // 8)) * 8
+
+    def _stride_addr(self) -> int:
+        # Streaming codes walk arrays element by element (8B), so only one
+        # access in eight touches a new cache line.
+        self.stride_pos = (self.stride_pos + 8) % self.ws_bytes
+        return self.stride_pos - self.stride_pos % 8
+
+    def data_addr(self) -> int:
+        p = self.profile
+        roll = self.rng.random()
+        if roll < p.stride_frac:
+            return self._stride_addr()
+        if roll < p.stride_frac + p.hot_frac:
+            return self._hot_addr()
+        return self._cold_addr()
+
+    # -- uop emission -----------------------------------------------------------
+
+    def emit(self, uop: Uop, reusable_addr: bool = True) -> None:
+        self.uops.append(uop)
+        if uop.dst is not None:
+            self.recent_dsts.append(uop.dst)
+        if uop.addr is not None:
+            if reusable_addr:
+                self.recent_addrs.append(uop.addr)
+            if uop.kind == UopKind.STORE:
+                self.recent_stores.append(uop.addr)
+
+    def emit_compute(self) -> None:
+        p = self.profile
+        roll = self.rng.random()
+        if p.fp_frac and self.rng.random() < p.fp_frac:
+            if roll < p.fp_div_frac:
+                kind = UopKind.FP_DIV
+            elif roll < 0.2:
+                kind = UopKind.FP_MUL
+            else:
+                kind = UopKind.FP_ALU
+        else:
+            if roll < p.int_div_frac:
+                kind = UopKind.INT_DIV
+            elif roll < p.int_div_frac + p.int_mul_frac:
+                kind = UopKind.INT_MUL
+            else:
+                kind = UopKind.INT_ALU
+        self.emit(Uop(kind, dst=self.alloc_dst(), srcs=self.pick_src()))
+
+    def emit_branch(self) -> None:
+        p = self.profile
+        mispredicted = self.rng.random() < p.mispredict_rate
+        self.emit(Uop(UopKind.BRANCH, srcs=self.pick_src(), mispredicted=mispredicted))
+
+    def emit_load(self) -> None:
+        p = self.profile
+        roll = self.rng.random()
+        dst = self.alloc_dst()
+        if roll < p.pointer_chase_frac:
+            # The address depends on the previous chase link: late resolution.
+            # Chase addresses are excluded from the reload pool: real code
+            # re-reads *other fields* of a chased node (different addresses),
+            # so exact-address reloads of in-flight chase loads are rare —
+            # this is what keeps SALdLd kills rare in the paper's data.
+            srcs = (self.chase_reg,) if self.chase_reg is not None else ()
+            addr = self._hot_addr() if self.rng.random() < 0.3 else self._cold_addr()
+            self.chase_reg = dst
+            self.emit(Uop(UopKind.LOAD, dst=dst, srcs=srcs, addr=addr), reusable_addr=False)
+            return
+        roll -= p.pointer_chase_frac
+        if roll < p.reload_conflict_frac and self.chase_reg is not None:
+            # Adversarial SALdLd pair: older late-address load now, younger
+            # ready-address load to the same line in a few uOPs.
+            addr = self._hot_addr()
+            self.emit(Uop(UopKind.LOAD, dst=dst, srcs=(self.chase_reg,), addr=addr))
+            self.pending_conflicts.append(
+                [self.rng.randint(1, 4), addr]
+            )
+            return
+        roll -= p.reload_conflict_frac
+        if roll < p.reload_frac and self.recent_addrs:
+            addr = self.rng.choice(tuple(self.recent_addrs))
+            self.emit(Uop(UopKind.LOAD, dst=dst, srcs=(), addr=addr))
+            return
+        roll -= p.reload_frac
+        if roll < p.store_forward_frac and self.recent_stores:
+            addr = self.rng.choice(tuple(self.recent_stores))
+            self.emit(Uop(UopKind.LOAD, dst=dst, srcs=self.pick_addr_src(), addr=addr))
+            return
+        self.emit(
+            Uop(UopKind.LOAD, dst=dst, srcs=self.pick_addr_src(), addr=self.data_addr())
+        )
+
+    def emit_store(self) -> None:
+        srcs = self.pick_addr_src() + self.pick_src()
+        self.emit(Uop(UopKind.STORE, srcs=srcs or (), addr=self.data_addr()))
+
+    def maybe_emit_conflict_pair(self) -> bool:
+        """Emit the deferred younger half of an adversarial pair if due."""
+        for pending in self.pending_conflicts:
+            pending[0] -= 1
+            if pending[0] <= 0:
+                addr = pending[1]
+                self.pending_conflicts.remove(pending)
+                self.emit(Uop(UopKind.LOAD, dst=self.alloc_dst(), srcs=(), addr=addr))
+                return True
+        return False
+
+
+def generate_trace(
+    profile: WorkloadProfile,
+    length: int = 20_000,
+    seed: int = 1,
+) -> Trace:
+    """Generate a deterministic uOP trace for one workload profile.
+
+    Args:
+        profile: the benchmark stand-in to synthesize.
+        length: number of uOPs.
+        seed: stream seed (combined with the profile name, so every
+            benchmark gets a distinct but reproducible stream).
+    """
+    builder = _TraceBuilder(profile, seed)
+    p = profile
+    while len(builder.uops) < length:
+        if builder.maybe_emit_conflict_pair():
+            continue
+        roll = builder.rng.random()
+        if roll < p.load_frac:
+            builder.emit_load()
+        elif roll < p.load_frac + p.store_frac:
+            builder.emit_store()
+        elif roll < p.load_frac + p.store_frac + p.branch_frac:
+            builder.emit_branch()
+        else:
+            builder.emit_compute()
+    return Trace(name=profile.name, uops=builder.uops[:length], seed=seed)

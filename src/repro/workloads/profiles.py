@@ -1,0 +1,274 @@
+"""The 55 SPEC CPU2006 benchmark-input stand-ins (Figure 18's x-axis).
+
+SPEC binaries and reference inputs cannot ship with this reproduction, so
+each benchmark input is replaced by a :class:`WorkloadProfile`: a seeded
+parameter set describing the benchmark's published character (instruction
+mix, working-set size, pointer-chasing intensity, branch behaviour,
+same-address reuse).  The profile names match the paper's Figure 18 labels
+exactly, and the parameters are drawn from the standard SPEC CPU2006
+characterization literature (integer vs floating point, cache-friendly vs
+cache-hostile, branchy vs regular).
+
+What matters for the reproduction is not any single absolute number but
+that the *population* of workloads exercises the mechanisms the paper
+measures: rare same-address load-load kills/stalls concentrated in a few
+benchmarks, frequent-but-useless load-load forwarding, and a wide uPC
+range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["WorkloadProfile", "PROFILES", "profile_names", "get_profile"]
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Synthetic-workload parameters for one benchmark input.
+
+    Fractions are of all uOPs (the remainder is integer ALU work);
+    per-load pattern fractions are of loads.
+
+    Attributes:
+        name: Figure 18 label (e.g. ``"mcf"``, ``"gcc.166"``).
+        load_frac / store_frac / branch_frac: uOP mix.
+        fp_frac: fraction of non-memory compute that is floating point.
+        int_mul_frac / int_div_frac / fp_div_frac: long-latency compute.
+        mispredict_rate: per-branch misprediction probability.
+        working_set_kb: cold working-set size (drives cache misses).
+        hot_set_kb / hot_frac: small reused region and access bias to it.
+        pointer_chase_frac: loads whose address depends on a prior load.
+        reload_frac: loads that re-read a recently loaded address soon
+            after (the same-address load-load pattern behind SALdLd events
+            and load-load forwarding).
+        reload_conflict_frac: reloads paired against a *late-address* older
+            access (produces kills/stalls rather than benign reuse).
+        store_forward_frac: loads reading a recently stored address.
+        stride_frac: loads/stores that stream with a fixed stride.
+        dep_density: probability a compute uOP reads a recent producer.
+        addr_dep_frac: probability an ordinary load/store *address* depends
+            on a recent in-flight producer (real code mostly uses stable
+            base registers, so this is small — it is what makes SALdLd
+            events rare, as the paper finds).
+    """
+
+    name: str
+    load_frac: float = 0.26
+    store_frac: float = 0.10
+    branch_frac: float = 0.12
+    fp_frac: float = 0.0
+    int_mul_frac: float = 0.01
+    int_div_frac: float = 0.001
+    fp_div_frac: float = 0.0
+    mispredict_rate: float = 0.04
+    working_set_kb: int = 512
+    hot_set_kb: int = 16
+    hot_frac: float = 0.6
+    pointer_chase_frac: float = 0.05
+    reload_frac: float = 0.04
+    reload_conflict_frac: float = 0.0005
+    store_forward_frac: float = 0.08
+    stride_frac: float = 0.3
+    dep_density: float = 0.5
+    addr_dep_frac: float = 0.08
+
+
+_BASE = WorkloadProfile(name="base")
+
+
+def _int_branchy(name: str, **kw) -> WorkloadProfile:
+    """Branch-heavy integer codes (gcc, gobmk, sjeng, perl, xalan)."""
+    defaults = dict(
+        branch_frac=0.18,
+        mispredict_rate=0.07,
+        working_set_kb=2048,
+        hot_frac=0.7,
+        pointer_chase_frac=0.08,
+        reload_frac=0.06,
+        reload_conflict_frac=0.0012,
+        store_forward_frac=0.12,
+        stride_frac=0.15,
+    )
+    defaults.update(kw)
+    return replace(_BASE, name=name, **defaults)
+
+
+def _fp_regular(name: str, **kw) -> WorkloadProfile:
+    """Regular floating-point codes (bwaves, leslie3d, zeusmp...)."""
+    defaults = dict(
+        load_frac=0.30,
+        store_frac=0.12,
+        branch_frac=0.04,
+        fp_frac=0.75,
+        fp_div_frac=0.002,
+        mispredict_rate=0.01,
+        working_set_kb=8192,
+        hot_frac=0.3,
+        pointer_chase_frac=0.005,
+        reload_frac=0.02,
+        reload_conflict_frac=0.0002,
+        store_forward_frac=0.04,
+        stride_frac=0.8,
+    )
+    defaults.update(kw)
+    return replace(_BASE, name=name, **defaults)
+
+
+def _pointer_chaser(name: str, **kw) -> WorkloadProfile:
+    """Cache-hostile pointer codes (mcf, omnetpp, astar, xalan)."""
+    defaults = dict(
+        load_frac=0.32,
+        store_frac=0.08,
+        branch_frac=0.14,
+        mispredict_rate=0.08,
+        working_set_kb=16384,
+        hot_frac=0.25,
+        pointer_chase_frac=0.45,
+        reload_frac=0.05,
+        reload_conflict_frac=0.0018,
+        store_forward_frac=0.06,
+        stride_frac=0.05,
+    )
+    defaults.update(kw)
+    return replace(_BASE, name=name, **defaults)
+
+
+def _streamer(name: str, **kw) -> WorkloadProfile:
+    """Streaming codes (libquantum, lbm, milc): large strides, huge sets."""
+    defaults = dict(
+        load_frac=0.25,
+        store_frac=0.15,
+        branch_frac=0.08,
+        fp_frac=0.5,
+        mispredict_rate=0.005,
+        working_set_kb=32768,
+        hot_frac=0.1,
+        pointer_chase_frac=0.0,
+        reload_frac=0.01,
+        reload_conflict_frac=0.00005,
+        store_forward_frac=0.02,
+        stride_frac=0.95,
+    )
+    defaults.update(kw)
+    return replace(_BASE, name=name, **defaults)
+
+
+def _int_compute(name: str, **kw) -> WorkloadProfile:
+    """High-ILP integer kernels (hmmer, h264ref, bzip2)."""
+    defaults = dict(
+        load_frac=0.30,
+        store_frac=0.12,
+        branch_frac=0.08,
+        mispredict_rate=0.02,
+        working_set_kb=256,
+        hot_frac=0.85,
+        pointer_chase_frac=0.01,
+        reload_frac=0.10,
+        reload_conflict_frac=0.0004,
+        store_forward_frac=0.15,
+        stride_frac=0.5,
+    )
+    defaults.update(kw)
+    return replace(_BASE, name=name, **defaults)
+
+
+def _fp_compute(name: str, **kw) -> WorkloadProfile:
+    """Compute-bound floating point (namd, gromacs, povray, gamess)."""
+    defaults = dict(
+        load_frac=0.28,
+        store_frac=0.10,
+        branch_frac=0.06,
+        fp_frac=0.8,
+        fp_div_frac=0.004,
+        mispredict_rate=0.015,
+        working_set_kb=512,
+        hot_frac=0.8,
+        pointer_chase_frac=0.01,
+        reload_frac=0.06,
+        reload_conflict_frac=0.0003,
+        store_forward_frac=0.08,
+        stride_frac=0.4,
+    )
+    defaults.update(kw)
+    return replace(_BASE, name=name, **defaults)
+
+
+PROFILES: dict[str, WorkloadProfile] = {
+    profile.name: profile
+    for profile in (
+        _pointer_chaser("astar.lakes", working_set_kb=4096, pointer_chase_frac=0.3),
+        _pointer_chaser("astar.rivers", working_set_kb=8192, pointer_chase_frac=0.35),
+        _fp_regular("bwaves", working_set_kb=16384),
+        _int_compute("bzip2.chicken", working_set_kb=1024),
+        _int_compute("bzip2.combined", working_set_kb=2048),
+        _int_compute("bzip2.liberty", working_set_kb=1024),
+        _int_compute("bzip2.program", working_set_kb=2048),
+        _int_compute("bzip2.source", working_set_kb=2048),
+        _int_compute("bzip2.text", working_set_kb=1024),
+        _fp_regular("cactusadm", working_set_kb=4096, fp_div_frac=0.003),
+        _fp_compute("calculix", working_set_kb=1024),
+        _fp_compute("dealii", working_set_kb=2048, pointer_chase_frac=0.05),
+        _fp_compute("gamess.cytosine", working_set_kb=256),
+        _fp_compute("gamess.h2ocu2", working_set_kb=256),
+        _fp_compute("gamess.triazolium", working_set_kb=512),
+        _int_branchy("gcc.166", working_set_kb=4096, reload_conflict_frac=0.002),
+        _int_branchy("gcc.200", working_set_kb=8192, reload_conflict_frac=0.0028),
+        _int_branchy("gcc.c-typeck", working_set_kb=2048),
+        _int_branchy("gcc.cp-decl", working_set_kb=2048),
+        _int_branchy("gcc.expr", working_set_kb=2048),
+        _int_branchy("gcc.expr2", working_set_kb=4096),
+        _int_branchy("gcc.g23", working_set_kb=8192),
+        _int_branchy("gcc.s04", working_set_kb=4096),
+        _int_branchy("gcc.scilab", working_set_kb=1024),
+        _fp_regular("gemsfdtd", working_set_kb=16384),
+        _int_branchy("gobmk.13x13", mispredict_rate=0.09),
+        _int_branchy("gobmk.nngs", mispredict_rate=0.10),
+        _int_branchy("gobmk.score2", mispredict_rate=0.09),
+        _int_branchy("gobmk.trevorc", mispredict_rate=0.09),
+        _int_branchy("gobmk.trevord", mispredict_rate=0.08),
+        _fp_compute("gromacs", working_set_kb=1024),
+        _int_compute("h264ref.freb", reload_frac=0.16, store_forward_frac=0.2),
+        _int_compute("h264ref.frem", reload_frac=0.18, store_forward_frac=0.2),
+        _int_compute("h264ref.sem", reload_frac=0.14, store_forward_frac=0.18),
+        _int_compute("hmmer.retro", branch_frac=0.05, reload_frac=0.12),
+        _int_compute("hmmer.swiss41", branch_frac=0.05, reload_frac=0.12),
+        _streamer("lbm", store_frac=0.2),
+        _fp_regular("leslie3d", working_set_kb=8192),
+        _streamer("libquantum", fp_frac=0.0, working_set_kb=32768),
+        _pointer_chaser(
+            "mcf",
+            working_set_kb=65536,
+            pointer_chase_frac=0.55,
+            reload_conflict_frac=0.003,
+        ),
+        _streamer("milc", fp_frac=0.7, working_set_kb=16384),
+        _fp_compute("namd", working_set_kb=512),
+        _pointer_chaser("omnetpp", working_set_kb=16384, branch_frac=0.16),
+        _int_branchy("perl.checkspam", working_set_kb=1024, mispredict_rate=0.06),
+        _int_branchy("perl.diffmail", working_set_kb=1024, mispredict_rate=0.06),
+        _int_branchy("perl.splitmail", working_set_kb=2048, mispredict_rate=0.05),
+        _fp_compute("povray", working_set_kb=128, branch_frac=0.1),
+        _int_branchy("sjeng", mispredict_rate=0.11, working_set_kb=4096),
+        _fp_regular("soplex.pds", working_set_kb=16384, branch_frac=0.08),
+        _fp_regular("soplex.ref", working_set_kb=8192, branch_frac=0.08),
+        _fp_regular("sphinx3", load_frac=0.34, working_set_kb=4096),
+        _fp_compute("tonto", working_set_kb=1024),
+        _fp_regular("wrf", working_set_kb=8192),
+        _pointer_chaser("xalan", working_set_kb=8192, branch_frac=0.18),
+        _fp_regular("zeusmp", working_set_kb=8192),
+    )
+}
+"""All 55 benchmark-input profiles, keyed by Figure 18 label."""
+
+
+def profile_names() -> tuple[str, ...]:
+    """The 55 profile names in Figure 18's (alphabetical) order."""
+    return tuple(sorted(PROFILES))
+
+
+def get_profile(name: str) -> WorkloadProfile:
+    """Look up a profile; raises ``KeyError`` with the catalogue on a miss."""
+    if name not in PROFILES:
+        raise KeyError(f"unknown workload {name!r}; see profile_names()")
+    return PROFILES[name]

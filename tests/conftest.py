@@ -1,0 +1,25 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models.registry import get_model, model_names
+
+
+@pytest.fixture(scope="session")
+def models():
+    """All registry models, instantiated once per session."""
+    return {name: get_model(name) for name in model_names()}
+
+
+@pytest.fixture(scope="session")
+def gam(models):
+    """The GAM model."""
+    return models["gam"]
+
+
+@pytest.fixture(scope="session")
+def gam0(models):
+    """The GAM0 model."""
+    return models["gam0"]

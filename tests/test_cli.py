@@ -1,0 +1,108 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_list_tests(self, capsys):
+        assert main(["list", "tests"]) == 0
+        out = capsys.readouterr().out
+        assert "dekker" in out and "rnsw" in out
+
+    def test_list_models(self, capsys):
+        assert main(["list", "models"]) == 0
+        out = capsys.readouterr().out
+        assert "gam" in out and "alpha_like" in out
+
+    def test_list_workloads(self, capsys):
+        assert main(["list", "workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "mcf" in out and "zeusmp" in out
+
+
+class TestShowAndCheck:
+    def test_show(self, capsys):
+        assert main(["show", "dekker"]) == 0
+        out = capsys.readouterr().out
+        assert "St" in out and "Ld" in out and "asked" in out
+
+    def test_check_allowed(self, capsys):
+        assert main(["check", "dekker", "-m", "gam"]) == 0
+        assert "ALLOWED" in capsys.readouterr().out
+
+    def test_check_forbidden(self, capsys):
+        assert main(["check", "dekker", "-m", "sc"]) == 0
+        assert "FORBIDDEN" in capsys.readouterr().out
+
+    def test_check_operational(self, capsys):
+        assert main(["check", "corr", "-m", "gam", "--operational"]) == 0
+        out = capsys.readouterr().out
+        assert "FORBIDDEN" in out and "abstract machine" in out
+
+    def test_check_operational_rejects_other_models(self, capsys):
+        assert main(["check", "corr", "-m", "sc", "--operational"]) == 2
+
+    def test_check_unknown_test(self, capsys):
+        assert main(["check", "not-a-test"]) == 2
+
+    def test_outcomes(self, capsys):
+        assert main(["outcomes", "dekker", "-m", "sc"]) == 0
+        out = capsys.readouterr().out
+        assert "3 outcome(s)" in out
+
+
+class TestWitnessDiff:
+    def test_witness_allowed(self, capsys):
+        assert main(["witness", "dekker", "-m", "gam"]) == 0
+        out = capsys.readouterr().out
+        assert "global memory order" in out
+
+    def test_witness_forbidden(self, capsys):
+        assert main(["witness", "oota", "-m", "gam"]) == 1
+        assert "no witness" in capsys.readouterr().out
+
+    def test_diff(self, capsys):
+        assert main(["diff", "corr", "gam0", "gam"]) == 0
+        assert "only gam0" in capsys.readouterr().out
+
+
+class TestSynthStrength:
+    def test_synth_dekker(self, capsys):
+        assert main(["synth", "dekker", "-m", "gam"]) == 0
+        out = capsys.readouterr().out
+        assert "FenceSL" in out and "2 fences" in out
+
+    def test_synth_already_sc(self, capsys):
+        assert main(["synth", "mp+fences", "-m", "gam"]) == 0
+        assert "no fences needed" in capsys.readouterr().out
+
+    def test_synth_unfixable_budget(self, capsys):
+        assert main(["synth", "dekker", "-m", "gam", "--max-fences", "0"]) == 1
+
+    def test_strength_paper(self, capsys):
+        assert main(["strength", "--suite", "paper"]) == 0
+        out = capsys.readouterr().out
+        assert "strength" in out.lower() and "<=" in out
+
+
+class TestMatrixEquivSim:
+    def test_matrix_paper(self, capsys):
+        assert main(["matrix", "--suite", "paper"]) == 0
+        out = capsys.readouterr().out
+        assert "rsw" in out and "all verdicts agree" in out
+
+    def test_equiv_on_named_tests(self, capsys):
+        assert main(["equiv", "dekker", "corr", "--pairs", "gam"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("ok ") == 2
+
+    def test_sim_small(self, capsys):
+        assert main(["sim", "--workloads", "namd", "--length", "800"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 18" in out and "Table II" in out and "Table III" in out
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

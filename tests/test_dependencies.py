@@ -1,0 +1,97 @@
+"""Unit tests for ddep / adep (Definitions 4-5)."""
+
+from repro.core.dependencies import adep_edges, ddep_edges, dependency_closure
+from repro.isa.expr import Const, Reg
+from repro.isa.instructions import Load, RegOp, Store
+from repro.isa.program import Program
+
+
+def _run(*instrs, load_values=None):
+    program = Program(list(instrs))
+    values = dict(load_values or {})
+    for index in program.load_indices():
+        values.setdefault(index, 0)
+    return program.execute(values)
+
+
+class TestDdep:
+    def test_simple_raw(self):
+        run = _run(Load("r1", Const(0)), RegOp("r2", Reg("r1")))
+        assert (0, 1) in ddep_edges(run)
+
+    def test_intervening_write_breaks_dependency(self):
+        # Definition 4: no instruction between I1 and I2 may rewrite r.
+        run = _run(
+            Load("r1", Const(0)),        # I0 writes r1
+            RegOp("r1", Const(7)),       # I1 rewrites r1
+            RegOp("r2", Reg("r1")),      # I2 reads r1 -> depends on I1 only
+        )
+        edges = ddep_edges(run)
+        assert (1, 2) in edges
+        assert (0, 2) not in edges
+
+    def test_store_reads_address_and_data(self):
+        run = _run(
+            Load("r1", Const(0)),
+            RegOp("r2", Const(0x100)),
+            Store(Reg("r2"), Reg("r1")),
+        )
+        edges = ddep_edges(run)
+        assert (0, 2) in edges  # data producer
+        assert (1, 2) in edges  # address producer
+
+    def test_artificial_dependency_counts(self):
+        run = _run(
+            Load("r1", Const(0)),
+            RegOp("r2", Const(0x100) + Reg("r1") - Reg("r1")),
+        )
+        assert (0, 1) in ddep_edges(run)
+
+    def test_no_dependency_between_unrelated(self):
+        run = _run(RegOp("r1", Const(1)), RegOp("r2", Const(2)))
+        assert ddep_edges(run) == frozenset()
+
+    def test_unwritten_register_has_no_producer(self):
+        run = _run(RegOp("r2", Reg("r1")))
+        assert ddep_edges(run) == frozenset()
+
+
+class TestAdep:
+    def test_address_dependency_on_load(self):
+        run = _run(
+            Load("r1", Const(0)),
+            Load("r2", Reg("r1")),
+            load_values={0: 0x100},
+        )
+        assert (0, 1) in adep_edges(run)
+
+    def test_data_only_dependency_is_not_adep(self):
+        run = _run(
+            Load("r1", Const(0)),
+            Store(Const(0x100), Reg("r1")),  # r1 is data, not address
+        )
+        assert (0, 1) in ddep_edges(run)
+        assert (0, 1) not in adep_edges(run)
+
+    def test_adep_subset_of_ddep(self):
+        run = _run(
+            Load("r1", Const(0)),
+            RegOp("r2", Reg("r1")),
+            Load("r3", Reg("r2")),
+            Store(Reg("r2"), Reg("r3")),
+        )
+        assert adep_edges(run) <= ddep_edges(run)
+
+
+class TestClosure:
+    def test_transitive_chain(self):
+        closed = dependency_closure({(0, 1), (1, 2)})
+        assert (0, 2) in closed
+
+    def test_idempotent(self):
+        edges = {(0, 1), (1, 2), (2, 3)}
+        once = dependency_closure(edges)
+        assert dependency_closure(once) == once
+
+    def test_empty(self):
+        assert dependency_closure(set()) == frozenset()

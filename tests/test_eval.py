@@ -1,0 +1,108 @@
+"""Tests for the experiment harnesses (repro.eval)."""
+
+import pytest
+
+from repro.eval.figure18 import render_figure18, run_figure18
+from repro.eval.litmus_matrix import conformance_failures, litmus_matrix, render_matrix
+from repro.eval.render import render_bar_chart, render_table
+from repro.eval.table2 import render_table2, table2
+from repro.eval.table3 import render_table3, table3
+from repro.sim.config import CoreConfig
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    """A small Figure 18 sweep shared by the table tests."""
+    return run_figure18(
+        workloads=("mcf", "gcc.166", "hmmer.retro", "h264ref.frem"),
+        trace_length=3_000,
+    )
+
+
+class TestRender:
+    def test_table_alignment(self):
+        table = render_table(["a", "bb"], [[1, 2.5], ["xxx", 4]], title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "xxx" in table and "2.5" in table
+
+    def test_bar_chart_directions(self):
+        chart = render_bar_chart(["up", "down"], [1.1, 0.9])
+        lines = chart.splitlines()
+        assert "+" in lines[0] and "-" in lines[1]
+
+    def test_bar_chart_handles_flat_values(self):
+        chart = render_bar_chart(["x"], [1.0])
+        assert "1.0000" in chart
+
+
+class TestLitmusMatrix:
+    def test_paper_matrix_has_no_conformance_failures(self):
+        cells = litmus_matrix()
+        assert conformance_failures(cells) == []
+
+    def test_matrix_covers_all_figures_and_models(self):
+        cells = litmus_matrix()
+        tests = {c.test_name for c in cells}
+        assert len(tests) == 12  # the twelve paper figures
+        models = {c.model_name for c in cells}
+        assert {"sc", "tso", "gam", "gam0", "arm", "plsc"} <= models
+
+    def test_render_flags_silent_cells(self):
+        rendered = render_matrix(litmus_matrix())
+        assert "·" in rendered  # paper-silent cells are marked
+        assert "allow!" not in rendered and "forbid!" not in rendered
+
+
+class TestFigure18Harness:
+    def test_rows_and_stats_populated(self, sweep):
+        assert len(sweep.rows) == 4
+        assert ("mcf", "GAM") in sweep.stats
+        assert all("GAM" in row.upc for row in sweep.rows)
+
+    def test_normalization_against_gam(self, sweep):
+        for row in sweep.rows:
+            assert row.normalized("GAM") == pytest.approx(1.0)
+
+    def test_relaxations_within_paper_envelope(self, sweep):
+        # The paper: gains "never exceed 3%"; allow slack for short traces.
+        for name in ("ARM", "GAM0", "Alpha*"):
+            assert 0.9 < sweep.average_normalized(name) < 1.1
+
+    def test_render_contains_average_row(self, sweep):
+        rendered = render_figure18(sweep)
+        assert "average" in rendered
+        assert "Alpha*/GAM" in rendered
+
+    def test_custom_config_accepted(self):
+        result = run_figure18(
+            workloads=("namd",),
+            trace_length=800,
+            config=CoreConfig.tiny(),
+        )
+        assert result.rows[0].upc["GAM"] > 0
+
+
+class TestTables(object):
+    def test_table2_rows(self, sweep):
+        rows = table2(sweep)
+        labels = [r.label for r in rows]
+        assert labels == ["Kills in GAM", "Stalls in GAM", "Stalls in ARM"]
+        for row in rows:
+            assert row.max_per_1k >= row.average_per_1k >= 0
+
+    def test_table2_gam_and_arm_stalls_close(self, sweep):
+        rows = {r.label: r for r in table2(sweep)}
+        gam = rows["Stalls in GAM"].average_per_1k
+        arm = rows["Stalls in ARM"].average_per_1k
+        assert abs(gam - arm) < max(1.0, 0.5 * max(gam, arm))
+
+    def test_table3_rows(self, sweep):
+        rows = table3(sweep)
+        assert rows[0].label == "Load-load forwardings"
+        assert rows[0].average_per_1k > 0  # forwarding does happen...
+        assert rows[1].average_per_1k < 2.0  # ...but barely saves misses
+
+    def test_renderers(self, sweep):
+        assert "Table II" in render_table2(table2(sweep))
+        assert "Table III" in render_table3(table3(sweep))

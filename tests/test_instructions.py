@@ -1,0 +1,124 @@
+"""Unit tests for instructions and Definitions 1-3 (RS / WS / ARS)."""
+
+import pytest
+
+from repro.isa.expr import Const, Reg
+from repro.isa.instructions import (
+    FENCE_LL,
+    FENCE_LS,
+    FENCE_SL,
+    FENCE_SS,
+    Branch,
+    Fence,
+    Load,
+    Nop,
+    RegOp,
+    Store,
+    acquire_fence,
+    full_fence,
+    release_fence,
+)
+
+
+class TestLoad:
+    def test_read_set_is_address_registers(self):
+        load = Load("r2", Reg("r1") + 8)
+        assert load.read_set() == frozenset({"r1"})
+
+    def test_write_set_is_destination(self):
+        assert Load("r2", Const(0)).write_set() == frozenset({"r2"})
+
+    def test_ars_equals_rs_for_loads(self):
+        load = Load("r2", Reg("r1") + Reg("r3"))
+        assert load.addr_read_set() == load.read_set()
+
+    def test_kind_flags(self):
+        load = Load("r2", Const(0))
+        assert load.is_load and load.is_memory
+        assert not load.is_store and not load.is_fence and not load.is_branch
+
+    def test_addr_coercion(self):
+        assert Load("r1", 0x100).addr == Const(0x100)
+        assert Load("r1", "r9").addr == Reg("r9")
+
+
+class TestStore:
+    def test_read_set_is_address_and_data(self):
+        store = Store(Reg("r1"), Reg("r2"))
+        assert store.read_set() == frozenset({"r1", "r2"})
+
+    def test_write_set_empty(self):
+        assert Store(Const(0), Const(1)).write_set() == frozenset()
+
+    def test_ars_is_address_only(self):
+        store = Store(Reg("r1"), Reg("r2"))
+        assert store.addr_read_set() == frozenset({"r1"})
+
+    def test_kind_flags(self):
+        store = Store(Const(0), Const(1))
+        assert store.is_store and store.is_memory and not store.is_load
+
+
+class TestFence:
+    def test_four_basic_fences(self):
+        assert (FENCE_LL.pre, FENCE_LL.post) == ("L", "L")
+        assert (FENCE_LS.pre, FENCE_LS.post) == ("L", "S")
+        assert (FENCE_SL.pre, FENCE_SL.post) == ("S", "L")
+        assert (FENCE_SS.pre, FENCE_SS.post) == ("S", "S")
+
+    def test_invalid_type_rejected(self):
+        with pytest.raises(ValueError):
+            Fence("X", "L")
+
+    def test_orders_before_matches_pre_type(self):
+        load = Load("r1", Const(0))
+        store = Store(Const(0), Const(1))
+        assert FENCE_LS.orders_before(load)
+        assert not FENCE_LS.orders_before(store)
+        assert FENCE_SL.orders_before(store)
+        assert not FENCE_SL.orders_before(load)
+
+    def test_orders_after_matches_post_type(self):
+        load = Load("r1", Const(0))
+        store = Store(Const(0), Const(1))
+        assert FENCE_LS.orders_after(store)
+        assert not FENCE_LS.orders_after(load)
+
+    def test_fences_do_not_order_other_fences_directly(self):
+        # "two fences are not ordered (directly) with respect to each other"
+        assert not FENCE_LL.orders_before(FENCE_SS)
+        assert not FENCE_LL.orders_after(FENCE_SS)
+
+    def test_fence_read_write_sets_empty(self):
+        assert FENCE_LL.read_set() == frozenset()
+        assert FENCE_LL.write_set() == frozenset()
+
+    def test_composite_fences_match_section_3d1(self):
+        assert acquire_fence() == (FENCE_LL, FENCE_LS)
+        assert release_fence() == (FENCE_LS, FENCE_SS)
+        assert full_fence() == (FENCE_LL, FENCE_LS, FENCE_SL, FENCE_SS)
+
+
+class TestRegOpBranchNop:
+    def test_regop_sets(self):
+        op = RegOp("r3", Reg("r1") + Reg("r2"))
+        assert op.read_set() == frozenset({"r1", "r2"})
+        assert op.write_set() == frozenset({"r3"})
+        assert op.addr_read_set() == frozenset()
+
+    def test_branch_reads_condition_writes_nothing(self):
+        branch = Branch(Reg("r1"), "target")
+        assert branch.read_set() == frozenset({"r1"})
+        assert branch.write_set() == frozenset()
+        assert branch.is_branch and not branch.is_memory
+
+    def test_nop_is_inert(self):
+        nop = Nop()
+        assert nop.read_set() == frozenset()
+        assert nop.write_set() == frozenset()
+        assert not nop.is_memory
+
+    def test_reprs_match_paper_notation(self):
+        assert repr(Load("r1", Const(0x100))) == "r1 = Ld [256]"
+        assert repr(Store(Const(0x100), Const(1))) == "St [256] 1"
+        assert repr(FENCE_SS) == "FenceSS"

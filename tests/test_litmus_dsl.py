@@ -1,0 +1,149 @@
+"""Unit tests for the litmus DSL, outcome parsing and the registry."""
+
+import pytest
+
+from repro.isa.expr import Const, Reg
+from repro.isa.instructions import Fence, Load, Store
+from repro.litmus.dsl import LOCATION_STRIDE, LitmusBuilder
+from repro.litmus.registry import all_tests, get_test, paper_suite
+from repro.litmus.registry import test_names as litmus_test_names
+from repro.litmus.test import Outcome
+
+
+class TestBuilder:
+    def test_locations_get_distinct_addresses(self):
+        b = LitmusBuilder("t", locations=("a", "b", "c"))
+        addrs = list(b.locations.values())
+        assert len(set(addrs)) == 3
+        assert all(addr % LOCATION_STRIDE == 0 for addr in addrs)
+
+    def test_loc_returns_address_constant(self):
+        b = LitmusBuilder("t", locations=("a",))
+        assert b.loc("a") == Const(b.locations["a"])
+
+    def test_address_strings_resolve_locations_first(self):
+        b = LitmusBuilder("t", locations=("a",))
+        p = b.proc().ld("r1", "a").ld("r2", "r1")
+        program = p.build()
+        assert program[0].addr == Const(b.locations["a"])
+        assert program[1].addr == Reg("r1")
+
+    def test_data_strings_are_registers(self):
+        b = LitmusBuilder("t", locations=("a",))
+        program = b.proc().st("a", "r1").build()
+        assert program[0].data == Reg("r1")
+
+    def test_fence_kinds(self):
+        b = LitmusBuilder("t", locations=("a",))
+        program = b.proc().fence("SS").fence("acquire").build()
+        assert program[0] == Fence("S", "S")
+        assert program[1] == Fence("L", "L")
+        assert program[2] == Fence("L", "S")
+
+    def test_unknown_fence_rejected(self):
+        b = LitmusBuilder("t", locations=("a",))
+        with pytest.raises(ValueError):
+            b.proc().fence("XY")
+
+    def test_branch_tuple_condition(self):
+        b = LitmusBuilder("t", locations=("a",))
+        p = b.proc()
+        p.branch(("r1", "==", 0), "end").label("end")
+        program = p.build()
+        assert program[0].is_branch
+
+    def test_init_with_location_name_stores_address(self):
+        b = LitmusBuilder("t", locations=("a", "b"))
+        b.init("a", "b")
+        b.proc().ld("r1", "a")
+        test = b.build()
+        assert test.initial_memory[b.locations["a"]] == b.locations["b"]
+
+    def test_build_produces_programs_per_proc(self):
+        b = LitmusBuilder("t", locations=("a",))
+        b.proc().st("a", 1)
+        b.proc().ld("r1", "a")
+        test = b.build(asked={"P1.r1": 0})
+        assert test.num_procs == 2
+        assert isinstance(test.programs[0][0], Store)
+        assert isinstance(test.programs[1][0], Load)
+
+
+class TestOutcome:
+    def test_parse_string_keys(self):
+        b = LitmusBuilder("t", locations=("a",))
+        b.proc().ld("r1", "a")
+        test = b.build(asked={"P0.r1": 3, "a": 1})
+        assert (0, "r1", 3) in test.asked.regs
+        assert (b.locations["a"], 1) in test.asked.mem
+
+    def test_parse_tuple_keys(self):
+        b = LitmusBuilder("t", locations=("a",))
+        b.proc().ld("r1", "a")
+        test = b.build(asked={(0, "r1"): 3})
+        assert (0, "r1", 3) in test.asked.regs
+
+    def test_bad_key_rejected(self):
+        b = LitmusBuilder("t", locations=("a",))
+        b.proc().ld("r1", "a")
+        with pytest.raises(ValueError):
+            b.build(asked={"bogus_key": 1})
+
+    def test_matches_register_bindings(self):
+        outcome = Outcome(regs=frozenset({(0, "r1", 5)}))
+        assert outcome.matches({(0, "r1"): 5}, {})
+        assert not outcome.matches({(0, "r1"): 6}, {})
+
+    def test_matches_memory_with_default_zero(self):
+        outcome = Outcome(mem=frozenset({(0x100, 0)}))
+        assert outcome.matches({}, {})
+        assert not outcome.matches({}, {0x100: 1})
+
+    def test_observed_defaults_from_asked(self):
+        b = LitmusBuilder("t", locations=("a",))
+        b.proc().ld("r1", "a").ld("r2", "a")
+        test = b.build(asked={"P0.r1": 1})
+        assert test.observed == frozenset({(0, "r1")})
+
+    def test_str_rendering(self):
+        outcome = Outcome(regs=frozenset({(0, "r1", 5)}))
+        assert "P0.r1=5" in str(outcome)
+
+
+class TestRegistry:
+    def test_all_paper_figures_present(self):
+        names = set(litmus_test_names())
+        for required in (
+            "dekker",
+            "oota",
+            "store-forwarding",
+            "load-speculation",
+            "mp+addr",
+            "mp+artificial-addr",
+            "mp+dep-memory",
+            "mp+prefetch",
+            "corr",
+            "corr+intervening-store",
+            "rsw",
+            "rnsw",
+        ):
+            assert required in names
+
+    def test_get_test_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_test("not-a-test")
+
+    def test_all_tests_builds_everything(self):
+        tests = list(all_tests())
+        assert len(tests) >= 25
+        assert all(test.num_procs >= 1 for test in tests)
+
+    def test_paper_suite_sources_are_figures(self):
+        for test in paper_suite():
+            assert test.source.startswith("Figure")
+
+    def test_location_name_lookup(self):
+        test = get_test("dekker")
+        addr = test.locations["a"]
+        assert test.location_name(addr) == "a"
+        assert test.location_name(0xDEAD) == hex(0xDEAD)

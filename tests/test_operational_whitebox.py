@@ -1,0 +1,124 @@
+"""White-box tests for the Figure 17 machine internals."""
+
+import pytest
+
+from repro.core.operational import (
+    GAM_MACHINE,
+    MachineState,
+    ProcState,
+    RobEntry,
+    _Machine,
+    explore,
+)
+from repro.litmus.dsl import LitmusBuilder
+from repro.litmus.registry import get_test
+
+
+def _empty_state(test):
+    return MachineState(
+        memory=tuple(sorted(test.initial_memory.items())),
+        procs=tuple(ProcState(0, ()) for _ in test.programs),
+    )
+
+
+class TestMachineState:
+    def test_memory_read_defaults_zero(self):
+        state = MachineState(memory=(), procs=())
+        assert state.read_mem(0x100) == 0
+
+    def test_memory_write_is_persistent_and_sorted(self):
+        state = MachineState(memory=((0x200, 5),), procs=())
+        memory = state.write_mem(0x100, 7)
+        assert memory == ((0x100, 7), (0x200, 5))
+
+    def test_rob_entry_defaults(self):
+        entry = RobEntry(index=0)
+        assert not entry.done and not entry.addr_avail and not entry.data_avail
+        assert entry.result is None and entry.pred_next is None
+
+
+class TestFetchClosure:
+    def test_straightline_fetches_everything_deterministically(self):
+        test = get_test("dekker")
+        machine = _Machine(test, GAM_MACHINE)
+        states = list(machine.fetch_closure(_empty_state(test)))
+        assert len(states) == 1
+        for proc, pstate in enumerate(states[0].procs):
+            assert pstate.pc == len(test.programs[proc])
+            assert len(pstate.rob) == len(test.programs[proc])
+
+    def test_each_branch_doubles_the_prediction_space(self):
+        test = get_test("mp+ctrl")  # P1 has one branch
+        machine = _Machine(test, GAM_MACHINE)
+        states = list(machine.fetch_closure(_empty_state(test)))
+        assert len(states) == 2  # predicted taken and predicted fall-through
+        rob_lengths = sorted(len(s.procs[1].rob) for s in states)
+        assert rob_lengths[0] < rob_lengths[1]  # taken path skips the load
+
+    def test_branch_entries_record_prediction(self):
+        test = get_test("mp+ctrl")
+        machine = _Machine(test, GAM_MACHINE)
+        for state in machine.fetch_closure(_empty_state(test)):
+            branch_entry = state.procs[1].rob[1]
+            assert branch_entry.pred_next is not None
+
+
+class TestRuleGuards:
+    def test_terminal_detection(self):
+        b = LitmusBuilder("t", locations=("a",))
+        b.proc().st("a", 1)
+        test = b.build()
+        machine = _Machine(test, GAM_MACHINE)
+        (fetched,) = machine.fetch_closure(_empty_state(test))
+        assert not machine.is_terminal(fetched)
+        # Address and data computation are both enabled; Execute-Store only
+        # fires after both.  Walk rule firings to the terminal state.
+        frontier = [fetched]
+        terminal = None
+        for _ in range(6):
+            next_frontier = []
+            for state in frontier:
+                if machine.is_terminal(state):
+                    terminal = state
+                    break
+                next_frontier.extend(machine.successors(state))
+            if terminal is not None:
+                break
+            frontier = next_frontier
+        assert terminal is not None
+        assert terminal.read_mem(test.locations["a"]) == 1
+
+    def test_final_state_reads_youngest_writer(self):
+        b = LitmusBuilder("t", locations=("a",))
+        b.proc().op("r1", 1).op("r1", 2)
+        test = b.build(asked={"P0.r1": 2})
+        result = explore(test, GAM_MACHINE)
+        (outcome,) = result.outcomes
+        assert outcome.reg_bindings()[(0, "r1")] == 2
+
+    def test_fence_blocks_younger_load_until_older_done(self):
+        # FenceLL between two loads: outcome set must equal in-order reads.
+        b = LitmusBuilder("t", locations=("a", "b"))
+        b.proc().st("a", 1).fence("SS").st("b", 1)
+        b.proc().ld("r1", "b").fence("LL").ld("r2", "a")
+        test = b.build(asked={"P1.r1": 1, "P1.r2": 0})
+        from repro.core.operational import operational_allows
+
+        assert not operational_allows(test, GAM_MACHINE)
+
+    def test_store_waits_for_older_branch(self):
+        # With the branch unresolved the store cannot fire; exploration must
+        # still terminate and never let the store commit on a killed path.
+        test = get_test("lb+ctrls")
+        result = explore(test, GAM_MACHINE)
+        asked = test.asked
+        assert all(
+            not asked.matches(
+                {(p, r): v for (p, r, v) in o.regs}, dict(o.mem)
+            )
+            for o in result.outcomes
+        )
+
+    def test_exploration_counts_are_consistent(self):
+        result = explore(get_test("corr"), GAM_MACHINE)
+        assert 0 < result.terminal_states <= result.states_visited

@@ -1,0 +1,135 @@
+"""Unit tests for the cache hierarchy (repro.sim.cache)."""
+
+from repro.sim.cache import CacheHierarchy, CacheLevel
+from repro.sim.config import CacheConfig, CoreConfig
+
+
+def _small_level(ways=2, sets_kb=1):
+    return CacheLevel("t", CacheConfig(size_kb=sets_kb, ways=ways, hit_latency=2, mshrs=2))
+
+
+class TestCacheLevel:
+    def test_geometry(self):
+        config = CacheConfig(size_kb=32, ways=8, hit_latency=4, mshrs=8)
+        assert config.num_sets == 64
+
+    def test_miss_then_hit(self):
+        level = _small_level()
+        assert not level.lookup(0x1000)
+        level.insert(0x1000)
+        assert level.lookup(0x1000)
+        assert level.hits == 1 and level.misses == 1
+
+    def test_lru_eviction_order(self):
+        level = _small_level(ways=2)
+        sets = level.config.num_sets
+        line = level.config.line_bytes
+        stride = sets * line  # same set, different tags
+        level.insert(0)
+        level.insert(stride)
+        level.lookup(0)           # touch 0: stride becomes LRU
+        level.insert(2 * stride)  # evicts stride
+        assert level.probe(0)
+        assert not level.probe(stride)
+        assert level.evictions == 1
+
+    def test_probe_is_non_destructive(self):
+        level = _small_level()
+        level.insert(0x40)
+        hits_before = level.hits
+        assert level.probe(0x40)
+        assert level.hits == hits_before
+
+    def test_same_line_addresses_share_entry(self):
+        level = _small_level()
+        level.insert(0x100)
+        assert level.probe(0x100 + 8)
+
+    def test_mshr_occupancy_window(self):
+        level = _small_level()
+        level.allocate_mshr(until=10)
+        level.allocate_mshr(until=10)
+        assert not level.mshr_available(now=5)
+        assert level.mshr_available(now=10)
+
+
+class TestHierarchy:
+    def test_miss_fills_all_levels(self):
+        hierarchy = CacheHierarchy(CoreConfig.tiny())
+        first = hierarchy.access(0x4000, now=0)
+        assert first.level == "mem"
+        again = hierarchy.access(0x4000, now=first.ready_cycle)
+        assert again.level == "l1"
+
+    def test_latency_accumulates_down_the_hierarchy(self):
+        config = CoreConfig.tiny()
+        hierarchy = CacheHierarchy(config)
+        result = hierarchy.access(0x8000, now=0)
+        floor = (
+            config.l1d.hit_latency
+            + config.l2.hit_latency
+            + config.l3.hit_latency
+            + config.memory_latency
+        )
+        assert result.ready_cycle >= floor
+
+    def test_l2_hit_after_l1_eviction(self):
+        config = CoreConfig.tiny()
+        hierarchy = CacheHierarchy(config)
+        hierarchy.access(0x0, now=0)
+        # Thrash L1 set 0 (2 ways in tiny config) with same-set lines.
+        l1_span = config.l1d.num_sets * 64
+        hierarchy.access(l1_span, now=100)
+        hierarchy.access(2 * l1_span, now=200)
+        result = hierarchy.access(0x0, now=300)
+        assert result.level in ("l2", "l3")
+
+    def test_would_miss_l1(self):
+        hierarchy = CacheHierarchy(CoreConfig.tiny())
+        assert hierarchy.would_miss_l1(0x40)
+        hierarchy.access(0x40, now=0)
+        assert not hierarchy.would_miss_l1(0x40)
+
+    def test_memory_access_counter(self):
+        hierarchy = CacheHierarchy(CoreConfig.tiny())
+        hierarchy.access(0x0, now=0)
+        hierarchy.access(0x123400, now=0)
+        assert hierarchy.memory_accesses == 2
+
+    def test_store_accesses_allocate(self):
+        hierarchy = CacheHierarchy(CoreConfig.tiny())
+        hierarchy.access(0x40, now=0, is_store=True)
+        assert not hierarchy.would_miss_l1(0x40)
+
+
+class TestTableIConfig:
+    def test_haswell_like_matches_table_i(self):
+        config = CoreConfig.haswell_like()
+        assert config.fetch_width == 4
+        assert config.issue_width == 6
+        assert config.rob_entries == 192
+        assert config.rs_entries == 60
+        assert config.lb_entries == 72
+        assert config.sb_entries == 42
+        assert config.l1d.size_kb == 32 and config.l1d.hit_latency == 4
+        assert config.l2.size_kb == 256 and config.l2.hit_latency == 12
+        assert config.l3.size_kb == 1024 and config.l3.hit_latency == 35
+        assert config.memory_latency == 200
+        assert config.l1d.mshrs == 8 and config.l2.mshrs == 20 and config.l3.mshrs == 30
+
+    def test_units_of_table_i(self):
+        from repro.sim.uops import UopKind
+
+        config = CoreConfig.haswell_like()
+        assert config.units_of(UopKind.INT_ALU) == 4
+        assert config.units_of(UopKind.FP_ALU) == 2
+        assert config.units_of(UopKind.LOAD) == 2
+        assert config.units_of(UopKind.INT_DIV) == 1
+
+    def test_latency_of_unknown_kind_raises(self):
+        import pytest
+
+        from repro.sim.uops import UopKind
+
+        with pytest.raises(KeyError):
+            CoreConfig.haswell_like().latency_of(UopKind.LOAD)

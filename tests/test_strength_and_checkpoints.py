@@ -1,0 +1,68 @@
+"""Tests for the strength-lattice harness and checkpointed sweeps."""
+
+import pytest
+
+from repro.eval.figure18 import run_figure18
+from repro.eval.strength import render_strength, strength_matrix
+from repro.litmus.registry import get_test, paper_suite
+
+
+@pytest.fixture(scope="module")
+def paper_matrix():
+    return strength_matrix(
+        tests=list(paper_suite()),
+        model_names=("sc", "tso", "gam", "arm", "gam0", "alpha_like"),
+    )
+
+
+class TestStrengthLattice:
+    def test_sc_strongest(self, paper_matrix):
+        for other in paper_matrix.model_names:
+            assert paper_matrix.is_stronger_or_equal("sc", other)
+
+    def test_alpha_weakest(self, paper_matrix):
+        for other in paper_matrix.model_names:
+            assert paper_matrix.is_stronger_or_equal(other, "alpha_like")
+
+    def test_main_chain(self, paper_matrix):
+        assert paper_matrix.chain_holds(("sc", "tso", "gam", "gam0", "alpha_like"))
+
+    def test_arm_sits_between_gam_and_gam0(self, paper_matrix):
+        assert paper_matrix.is_stronger_or_equal("gam", "arm")
+        assert paper_matrix.is_stronger_or_equal("arm", "gam0")
+        # ...and strictly: GAM0 is NOT as strong as ARM (CoRR separates them).
+        assert not paper_matrix.is_stronger_or_equal("gam0", "arm")
+
+    def test_relation_is_reflexive(self, paper_matrix):
+        for name in paper_matrix.model_names:
+            assert paper_matrix.is_stronger_or_equal(name, name)
+
+    def test_gam_strictly_weaker_than_tso(self, paper_matrix):
+        # Dekker is allowed by both, but MP separates TSO from GAM.
+        assert not paper_matrix.is_stronger_or_equal("gam", "tso")
+
+    def test_render(self, paper_matrix):
+        rendered = render_strength(paper_matrix)
+        assert "sc" in rendered and "<=" in rendered
+
+
+class TestCheckpointedSweep:
+    def test_checkpoints_aggregate_uops(self):
+        result = run_figure18(
+            workloads=("gcc.166",), trace_length=1_000, checkpoints=3
+        )
+        stats = result.stats[("gcc.166", "GAM")]
+        assert stats.committed_uops == 3_000
+
+    def test_single_checkpoint_matches_plain_run(self):
+        one = run_figure18(workloads=("namd",), trace_length=1_200, checkpoints=1)
+        plain = run_figure18(workloads=("namd",), trace_length=1_200)
+        assert one.rows[0].upc == plain.rows[0].upc
+
+    def test_checkpoints_change_the_sample(self):
+        one = run_figure18(workloads=("gcc.166",), trace_length=1_000, checkpoints=1)
+        three = run_figure18(workloads=("gcc.166",), trace_length=1_000, checkpoints=3)
+        # Different samples, same ballpark.
+        assert one.rows[0].upc["GAM"] != pytest.approx(
+            three.rows[0].upc["GAM"], abs=1e-12
+        ) or one.rows[0].upc["GAM"] > 0

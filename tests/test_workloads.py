@@ -1,0 +1,112 @@
+"""Unit tests for workload profiles and the trace generator."""
+
+import pytest
+
+from repro.sim.uops import UopKind
+from repro.workloads.generator import generate_trace
+from repro.workloads.profiles import PROFILES, get_profile, profile_names
+
+
+class TestProfiles:
+    def test_exactly_55_benchmark_inputs(self):
+        # Figure 18's x-axis has 55 labels ("55 inputs in total").
+        assert len(PROFILES) == 55
+
+    def test_expected_names_present(self):
+        names = set(profile_names())
+        for required in (
+            "mcf",
+            "libquantum",
+            "gcc.166",
+            "gobmk.trevord",
+            "h264ref.sem",
+            "perl.splitmail",
+            "soplex.pds",
+            "zeusmp",
+            "astar.lakes",
+        ):
+            assert required in names
+
+    def test_get_profile_unknown(self):
+        with pytest.raises(KeyError):
+            get_profile("doom3")
+
+    def test_fractions_are_sane(self):
+        for profile in PROFILES.values():
+            mix = profile.load_frac + profile.store_frac + profile.branch_frac
+            assert 0 < mix < 1, profile.name
+            assert 0 <= profile.mispredict_rate <= 0.2, profile.name
+            assert profile.working_set_kb > 0
+
+    def test_mcf_is_the_pointer_chaser(self):
+        mcf = get_profile("mcf")
+        assert mcf.pointer_chase_frac > 0.4
+        assert mcf.working_set_kb >= 32768
+
+
+class TestGenerator:
+    def test_requested_length(self):
+        trace = generate_trace(get_profile("namd"), length=500, seed=3)
+        assert len(trace) == 500
+
+    def test_deterministic_per_seed(self):
+        profile = get_profile("gcc.166")
+        a = generate_trace(profile, length=300, seed=7)
+        b = generate_trace(profile, length=300, seed=7)
+        assert [(u.kind, u.dst, u.srcs, u.addr) for u in a] == [
+            (u.kind, u.dst, u.srcs, u.addr) for u in b
+        ]
+
+    def test_different_seeds_differ(self):
+        profile = get_profile("gcc.166")
+        a = generate_trace(profile, length=300, seed=1)
+        b = generate_trace(profile, length=300, seed=2)
+        assert [(u.kind, u.addr) for u in a] != [(u.kind, u.addr) for u in b]
+
+    def test_mix_approximates_profile(self):
+        profile = get_profile("bzip2.source")
+        trace = generate_trace(profile, length=20_000, seed=1)
+        counts = trace.kind_counts()
+        load_frac = counts.get(UopKind.LOAD, 0) / len(trace)
+        assert abs(load_frac - profile.load_frac) < 0.05
+
+    def test_fp_workload_contains_fp_uops(self):
+        trace = generate_trace(get_profile("bwaves"), length=5_000, seed=1)
+        counts = trace.kind_counts()
+        fp = sum(
+            counts.get(kind, 0)
+            for kind in (UopKind.FP_ALU, UopKind.FP_MUL, UopKind.FP_DIV)
+        )
+        assert fp > 1000
+
+    def test_int_workload_has_no_fp(self):
+        trace = generate_trace(get_profile("libquantum"), length=5_000, seed=1)
+        counts = trace.kind_counts()
+        assert counts.get(UopKind.FP_DIV, 0) == 0
+
+    def test_memory_uops_have_addresses(self):
+        trace = generate_trace(get_profile("mcf"), length=2_000, seed=1)
+        for uop in trace:
+            if uop.kind.is_memory:
+                assert uop.addr is not None and uop.addr >= 0
+            else:
+                assert uop.addr is None
+
+    def test_pointer_chase_creates_dependent_loads(self):
+        trace = generate_trace(get_profile("mcf"), length=5_000, seed=1)
+        dependent_loads = sum(
+            1 for u in trace if u.kind == UopKind.LOAD and u.srcs
+        )
+        assert dependent_loads > 500
+
+    def test_reload_pairs_reuse_exact_addresses(self):
+        trace = generate_trace(get_profile("h264ref.frem"), length=5_000, seed=1)
+        load_addrs = [u.addr for u in trace if u.kind == UopKind.LOAD]
+        assert len(set(load_addrs)) < len(load_addrs)  # genuine reuse exists
+
+    def test_branches_flagged_at_profile_rate(self):
+        profile = get_profile("sjeng")
+        trace = generate_trace(profile, length=30_000, seed=1)
+        branches = [u for u in trace if u.kind == UopKind.BRANCH]
+        rate = sum(u.mispredicted for u in branches) / len(branches)
+        assert abs(rate - profile.mispredict_rate) < 0.03
