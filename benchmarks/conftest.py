@@ -13,6 +13,7 @@ import pathlib
 import pytest
 
 from repro.eval.figure18 import run_figure18
+from repro.litmus.registry import paper_suite
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -37,6 +38,12 @@ SWEEP_LENGTH = 5_000
 def figure18_sweep():
     """One reduced Figure 18 sweep shared across benchmark modules."""
     return run_figure18(workloads=SWEEP_WORKLOADS, trace_length=SWEEP_LENGTH)
+
+
+@pytest.fixture(scope="session")
+def paper_tests():
+    """The materialized paper suite, shared by the engine benchmarks."""
+    return [test for test in paper_suite() if test.asked is not None]
 
 
 @pytest.fixture(scope="session")

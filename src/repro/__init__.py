@@ -10,6 +10,10 @@ The package implements GAM (the General Atomic Memory Model) end to end:
   Alpha-like, per-location-SC yardstick);
 * :mod:`repro.equivalence` — empirical equivalence checking of the two
   definitions, including random-program fuzzing;
+* :mod:`repro.engine` — the batch evaluation engine behind the verdict
+  matrix, strength lattice and equivalence suites: per-test candidate
+  prefixes shared across the model zoo, optional multiprocessing fan-out
+  (``--jobs``) and an on-disk result cache (``--cache``);
 * :mod:`repro.sim` + :mod:`repro.workloads` — the out-of-order timing
   simulator and SPEC-like synthetic workloads behind the paper's
   performance evaluation (Figure 18, Tables II-III);

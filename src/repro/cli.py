@@ -8,12 +8,22 @@ Commands:
 * ``outcomes TEST [-m MODEL] [--full]`` — enumerate the outcome set;
 * ``witness TEST [-m MODEL]`` — a concrete ``<mo, rf>`` for the outcome;
 * ``diff TEST WEAKER STRONGER`` — outcome-set difference of two models;
-* ``matrix [--suite {paper,standard,all}]`` — the verdict matrix;
-* ``equiv [TEST ...]`` — axiomatic-vs-operational agreement;
+* ``matrix [--suite {paper,standard,all}] [--jobs N] [--cache DIR]`` —
+  the verdict matrix;
+* ``equiv [TEST ...] [--jobs N] [--cache DIR]`` — axiomatic-vs-operational
+  agreement;
 * ``synth TEST [-m MODEL]`` — minimal fences restoring SC;
-* ``strength [--suite ...]`` — the measured model-strength lattice;
+* ``strength [--suite ...] [--jobs N] [--cache DIR]`` — the measured
+  model-strength lattice;
 * ``sim [--workloads ...] [--length N] [--checkpoints K]`` — Figure 18 +
   Tables II/III.
+
+The grid-shaped commands (``matrix``, ``equiv``, ``strength``) run on the
+batch evaluation engine (:mod:`repro.engine`): per-test candidate work is
+shared across the model zoo, ``--jobs N`` fans tests out over a process
+pool, and ``--cache DIR`` keeps a content-hashed on-disk result cache so
+repeated runs are incremental.  The defaults (one process, no cache)
+produce output identical to the historical serial path.
 
 Every command prints plain text and exits non-zero on a failed check, so
 the CLI composes with shell scripts and CI.
@@ -73,6 +83,21 @@ def build_parser() -> argparse.ArgumentParser:
     diff.add_argument("weaker", help="the (expectedly) weaker model")
     diff.add_argument("stronger", help="the (expectedly) stronger model")
 
+    def add_engine_flags(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            metavar="N",
+            help="worker processes for the batch engine (default: 1, serial)",
+        )
+        cmd.add_argument(
+            "--cache",
+            default=None,
+            metavar="DIR",
+            help="on-disk result cache directory (default: no cache)",
+        )
+
     matrix = sub.add_parser("matrix", help="verdict matrix across the model zoo")
     matrix.add_argument(
         "--suite",
@@ -80,6 +105,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="paper",
         help="which test suite to evaluate",
     )
+    add_engine_flags(matrix)
 
     equiv = sub.add_parser("equiv", help="axiomatic vs operational agreement")
     equiv.add_argument("tests", nargs="*", help="test names (default: paper suite)")
@@ -88,6 +114,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="gam,gam0",
         help="comma-separated definition pairs (gam,gam0,sc,tso)",
     )
+    add_engine_flags(equiv)
 
     synth = sub.add_parser(
         "synth", help="synthesize minimal fences restoring SC"
@@ -107,6 +134,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="paper",
         help="which test suite to measure over",
     )
+    add_engine_flags(strength)
 
     sim = sub.add_parser("sim", help="run the Section V evaluation")
     sim.add_argument(
@@ -246,7 +274,9 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
         "standard": standard_suite,
         "all": all_tests,
     }
-    cells = litmus_matrix(tests=suites[args.suite]())
+    cells = litmus_matrix(
+        tests=suites[args.suite](), jobs=args.jobs, cache_dir=args.cache
+    )
     print(render_matrix(cells))
     failures = conformance_failures(cells)
     if failures:
@@ -257,7 +287,7 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
 
 
 def _cmd_equiv(args: argparse.Namespace) -> int:
-    from .equivalence.checker import check_pair
+    from .equivalence.checker import check_suite
     from .litmus.registry import get_test, paper_suite
 
     pair_names = [p.strip() for p in args.pairs.split(",") if p.strip()]
@@ -267,17 +297,18 @@ def _cmd_equiv(args: argparse.Namespace) -> int:
         else list(paper_suite())
     )
     status = 0
-    for test in tests:
-        for pair in pair_names:
-            report = check_pair(test, pair)
-            mark = "ok " if report.equivalent else "DIFF"
-            print(
-                f"{mark} {test.name:24s} {pair:5s} "
-                f"|axiomatic|={len(report.axiomatic)} "
-                f"|machine|={len(report.operational)}"
-            )
-            if not report.equivalent:
-                status = 1
+    reports = check_suite(
+        tests, pair_names=pair_names, jobs=args.jobs, cache_dir=args.cache
+    )
+    for report in reports:
+        mark = "ok " if report.equivalent else "DIFF"
+        print(
+            f"{mark} {report.test_name:24s} {report.pair_name:5s} "
+            f"|axiomatic|={len(report.axiomatic)} "
+            f"|machine|={len(report.operational)}"
+        )
+        if not report.equivalent:
+            status = 1
     return status
 
 
@@ -311,7 +342,9 @@ def _cmd_strength(args: argparse.Namespace) -> int:
     from .litmus.registry import all_tests, paper_suite, standard_suite
 
     suites = {"paper": paper_suite, "standard": standard_suite, "all": all_tests}
-    matrix = strength_matrix(tests=suites[args.suite]())
+    matrix = strength_matrix(
+        tests=suites[args.suite](), jobs=args.jobs, cache_dir=args.cache
+    )
     print(render_strength(matrix))
     return 0
 
@@ -359,10 +392,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns the process exit status."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    from .core.axiomatic import DomainOverflowError
+    from .engine import EngineWorkerError
+
     try:
         return _COMMANDS[args.command](args)
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    except (DomainOverflowError, EngineWorkerError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
         return 2
 
 

@@ -12,6 +12,7 @@
 """
 
 from .axiomatic import (
+    CandidatePrefix,
     DomainOverflowError,
     MemoryModel,
     enumerate_executions,
@@ -43,6 +44,7 @@ from .ppo import (
 
 __all__ = [
     "MemoryModel",
+    "CandidatePrefix",
     "DomainOverflowError",
     "enumerate_executions",
     "enumerate_outcomes",

@@ -26,7 +26,7 @@ as the load is placed — see :func:`_place_load_value`).
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Iterable, Iterator, Mapping, Optional, Sequence
 
 from ..isa.expr import Const, evaluate, registers_read
@@ -56,6 +56,7 @@ __all__ = [
     "MemoryModel",
     "DomainOverflowError",
     "ValueDomains",
+    "CandidatePrefix",
     "value_domain",
     "value_domains",
     "enumerate_executions",
@@ -327,7 +328,14 @@ def _first_unassigned_load(
 
 @dataclass
 class _Candidate:
-    """One candidate execution before a memory order is chosen."""
+    """One candidate execution before a memory order is chosen.
+
+    Everything except ``mem_edges`` is *model-independent*: it is derived
+    from the test and the chosen program runs alone, which is what lets a
+    :class:`CandidatePrefix` share one ``_Candidate`` base across a whole
+    model zoo (``_prepare_base`` builds it with ``mem_edges`` empty and
+    ``_with_model_edges`` specializes it per clause set).
+    """
 
     runs: tuple[ProgramRun, ...]
     events: tuple[MemEvent, ...]
@@ -347,16 +355,16 @@ class _Candidate:
         return (proc, index)
 
 
-def _prepare_candidate(
+def _prepare_base(
     test: LitmusTest,
     runs: tuple[ProgramRun, ...],
-    model: MemoryModel,
 ) -> Optional[_Candidate]:
-    """Build events, contexts and the static-ppo DAG; prune impossible values.
+    """Build the model-independent candidate base; prune impossible values.
 
     Returns ``None`` when some load's assigned value cannot come from any
     store to its address (nor from the initial memory) — a cheap necessary
-    condition for the LoadValue axiom.
+    condition for the LoadValue axiom under *every* model.  The returned
+    candidate has an empty ``mem_edges``; see :func:`_with_model_edges`.
     """
     events = build_events(runs)
     inits = init_events(events, test.initial_memory)
@@ -380,23 +388,6 @@ def _prepare_candidate(
                 no_forward.add(load_eid)
 
     contexts = tuple(PpoContext.from_run(run) for run in runs)
-    candidate = _Candidate(
-        runs=runs,
-        events=events,
-        inits=inits,
-        contexts=contexts,
-        mem_edges=frozenset(),
-        po_stores={},
-        event_by_id=by_id,
-        rmw_pairs=rmw_pairs,
-        no_forward=frozenset(no_forward),
-    )
-
-    mem_edges: set[tuple[EventId, EventId]] = set()
-    for proc, ctx in enumerate(contexts):
-        ppo = compute_ppo(ctx, model.clauses)
-        for a, b in project_to_memory(ctx, ppo):
-            mem_edges.add((candidate.src_eid(proc, a), (proc, b)))
 
     po_stores: dict[EventId, tuple[MemEvent, ...]] = {}
     for proc, run in enumerate(runs):
@@ -421,12 +412,42 @@ def _prepare_candidate(
         events=events,
         inits=inits,
         contexts=contexts,
-        mem_edges=frozenset(mem_edges),
+        mem_edges=frozenset(),
         po_stores=po_stores,
         event_by_id=by_id,
         rmw_pairs=rmw_pairs,
         no_forward=frozenset(no_forward),
     )
+
+
+def _static_memory_edges(
+    base: _Candidate,
+    clauses: tuple[Clause, ...],
+) -> frozenset[tuple[EventId, EventId]]:
+    """Evaluate a model's static clauses over a candidate base."""
+    mem_edges: set[tuple[EventId, EventId]] = set()
+    for proc, ctx in enumerate(base.contexts):
+        ppo = compute_ppo(ctx, clauses)
+        for a, b in project_to_memory(ctx, ppo):
+            mem_edges.add((base.src_eid(proc, a), (proc, b)))
+    return frozenset(mem_edges)
+
+
+def _with_model_edges(base: _Candidate, model: MemoryModel) -> _Candidate:
+    """Specialize a model-independent base with the model's static-ppo DAG."""
+    return replace(base, mem_edges=_static_memory_edges(base, model.clauses))
+
+
+def _prepare_candidate(
+    test: LitmusTest,
+    runs: tuple[ProgramRun, ...],
+    model: MemoryModel,
+) -> Optional[_Candidate]:
+    """Build events, contexts and the static-ppo DAG; prune impossible values."""
+    base = _prepare_base(test, runs)
+    if base is None:
+        return None
+    return _with_model_edges(base, model)
 
 
 def _orders_with_load_values(
@@ -537,29 +558,58 @@ def _orders_with_load_values(
     yield from backtrack()
 
 
+def _dynamic_memory_edges(
+    candidate: _Candidate,
+    model: MemoryModel,
+    proc: int,
+    rf_local: Mapping[int, EventId],
+) -> tuple[tuple[EventId, EventId], ...]:
+    """One processor's (static + dynamic) ppo projected onto memory events."""
+    ctx = candidate.contexts[proc]
+    ppo = compute_ppo(ctx, model.clauses, model.dynamic_clauses, rf_local)
+    return tuple(
+        (candidate.src_eid(proc, a), (proc, b))
+        for a, b in project_to_memory(ctx, ppo)
+    )
+
+
 def _dynamic_clauses_hold(
     candidate: _Candidate,
     model: MemoryModel,
     mo: tuple[EventId, ...],
     rf: Mapping[EventId, EventId],
+    memo: Optional[dict] = None,
+    memo_key: object = None,
 ) -> bool:
     """Post-check execution-dependent ppo clauses against a completed order.
 
     Recomputes the full (static + dynamic) transitive ppo per processor and
-    requires every memory-to-memory edge to agree with ``mo``.
+    requires every memory-to-memory edge to agree with ``mo``.  The dynamic
+    ppo depends on the execution only through each processor's local
+    read-from map, so the projected edges are memoized under
+    ``(memo_key, proc, rf_local)`` when a ``memo`` dict is supplied — many
+    memory orders share the same read-from and skip the ppo re-closure.
     """
     if not model.dynamic_clauses:
         return True
     position = {eid: i for i, eid in enumerate(mo)}
-    for proc, ctx in enumerate(candidate.contexts):
+    for proc in range(len(candidate.contexts)):
         rf_local = {
             index: rf[(proc, index)]
             for (p, index) in rf
             if p == proc
         }
-        ppo = compute_ppo(ctx, model.clauses, model.dynamic_clauses, rf_local)
-        for a, b in project_to_memory(ctx, ppo):
-            if position[candidate.src_eid(proc, a)] >= position[(proc, b)]:
+        if memo is None:
+            edges = _dynamic_memory_edges(candidate, model, proc, rf_local)
+        else:
+            key = (memo_key, proc, frozenset(rf_local.items()))
+            edges = memo.get(key)
+            if edges is None:
+                edges = memo[key] = _dynamic_memory_edges(
+                    candidate, model, proc, rf_local
+                )
+        for a, b in edges:
+            if position[a] >= position[b]:
                 return False
     return True
 
@@ -577,22 +627,159 @@ def _final_memory(
     return final
 
 
+class _MemoizedOrders:
+    """A replayable view over one ``_orders_with_load_values`` generator.
+
+    Multiple consumers (models sharing the same static-ppo DAG and
+    load-value axiom) iterate independently; items already produced are
+    served from the cache, and the underlying generator is advanced only
+    when some consumer runs past it.  A short-circuiting consumer (e.g.
+    :func:`is_allowed`) therefore pays only for the prefix it needs, while
+    a later full enumeration resumes where it left off.
+    """
+
+    __slots__ = ("_gen", "_cache", "_exhausted")
+
+    def __init__(self, gen: Iterator) -> None:
+        self._gen = gen
+        self._cache: list = []
+        self._exhausted = False
+
+    def __iter__(self) -> Iterator:
+        index = 0
+        while True:
+            if index < len(self._cache):
+                yield self._cache[index]
+                index += 1
+                continue
+            if self._exhausted:
+                return
+            try:
+                item = next(self._gen)
+            except StopIteration:
+                self._exhausted = True
+                return
+            self._cache.append(item)
+            # Re-check the cache rather than yielding ``item`` directly: a
+            # concurrently iterating consumer may have advanced the
+            # generator while this one was suspended at ``yield``.
+
+
+class CandidatePrefix:
+    """The model-independent prefix of :func:`enumerate_executions`.
+
+    Building a verdict for one ``(test, model)`` pair starts with work that
+    does not depend on the model at all: the value domains, the per-program
+    run enumeration, and the event/candidate construction of
+    ``_prepare_base``.  A ``CandidatePrefix`` computes that prefix once per
+    test and lets any number of models be judged against it — the core of
+    the batch evaluation engine (:mod:`repro.engine`).
+
+    Three memoization layers live here, keyed per run-combination:
+
+    1. ``base(i)`` — the model-independent candidate (events, dependency
+       contexts, forwarding metadata), built lazily and shared by all.
+    2. ``edges_for(i, model)`` — the static-ppo memory DAG, keyed by the
+       model's *clause names*; models with identical clause sets (e.g. ARM
+       vs GAM0, PLSC vs Alpha) share one evaluation.  Clause names fully
+       determine clause behaviour in this repository's vocabulary.
+    3. ``orders_for(...)`` — the ``(mo, rf)`` enumeration, keyed by the
+       resulting DAG and the load-value axiom, wrapped in a
+       :class:`_MemoizedOrders` so partial consumption is never wasted.
+
+    ``extra_values`` must cover whatever a later caller would have passed
+    to :func:`enumerate_executions`; asked-outcome values are always
+    included by :func:`value_domains`, so a plain ``CandidatePrefix(test)``
+    serves default verdicts, outcome enumeration and equivalence checks.
+    """
+
+    def __init__(self, test: LitmusTest, extra_values: Iterable[int] = ()) -> None:
+        self.test = test
+        self.extra_values = frozenset(extra_values)
+        self.domains = value_domains(test, self.extra_values)
+        per_proc = [_enumerate_runs(program, self.domains) for program in test.programs]
+        self.combos: tuple[tuple[ProgramRun, ...], ...] = tuple(
+            itertools.product(*per_proc)
+        )
+        self._bases: dict[int, Optional[_Candidate]] = {}
+        self._edges: dict[tuple[int, tuple[str, ...]], frozenset] = {}
+        self._orders: dict[tuple[int, frozenset, str], _MemoizedOrders] = {}
+        self._dynamic_memo: dict = {}
+
+    def covers(self, extra_values: Iterable[int]) -> bool:
+        """Would this prefix's domains be unchanged under ``extra_values``?
+
+        Extras feed the ``wild`` seed of :func:`value_domains`; values
+        already in ``wild`` are no-ops, so containment is exact.
+        """
+        return set(extra_values) <= self.domains.wild
+
+    def base(self, combo_index: int) -> Optional[_Candidate]:
+        """The shared model-independent candidate for one run combination."""
+        if combo_index not in self._bases:
+            self._bases[combo_index] = _prepare_base(
+                self.test, self.combos[combo_index]
+            )
+        return self._bases[combo_index]
+
+    def candidate(self, combo_index: int, model: MemoryModel) -> Optional[_Candidate]:
+        """The base specialized with ``model``'s static-ppo DAG (memoized)."""
+        base = self.base(combo_index)
+        if base is None:
+            return None
+        key = (combo_index, tuple(c.name for c in model.clauses))
+        edges = self._edges.get(key)
+        if edges is None:
+            edges = self._edges[key] = _static_memory_edges(base, model.clauses)
+        return replace(base, mem_edges=edges)
+
+    def orders_for(
+        self, combo_index: int, candidate: _Candidate, load_value_mode: str
+    ) -> _MemoizedOrders:
+        """The memoized ``(mo, rf)`` stream for one DAG + load-value axiom."""
+        key = (combo_index, candidate.mem_edges, load_value_mode)
+        orders = self._orders.get(key)
+        if orders is None:
+            orders = self._orders[key] = _MemoizedOrders(
+                _orders_with_load_values(candidate, load_value_mode)
+            )
+        return orders
+
+    def dynamic_memo(self) -> dict:
+        """Shared memo for :func:`_dynamic_clauses_hold` projections."""
+        return self._dynamic_memo
+
+
 def enumerate_executions(
     test: LitmusTest,
     model: MemoryModel,
     extra_values: Iterable[int] = (),
+    prefix: Optional[CandidatePrefix] = None,
 ) -> Iterator[Execution]:
-    """Yield every execution of ``test`` the model's axioms allow."""
+    """Yield every execution of ``test`` the model's axioms allow.
+
+    ``prefix`` shares the model-independent work (value domains, program
+    runs, candidate bases) across calls for the same test; a prefix whose
+    domains do not cover ``extra_values`` is ignored and rebuilt.
+    """
     from .perloc_sc import execution_is_per_location_sc  # cycle-free import
 
-    domains = value_domains(test, extra_values)
-    per_proc = [_enumerate_runs(program, domains) for program in test.programs]
-    for combo in itertools.product(*per_proc):
-        candidate = _prepare_candidate(test, tuple(combo), model)
+    if prefix is None or not prefix.covers(extra_values):
+        prefix = CandidatePrefix(test, extra_values)
+    for combo_index in range(len(prefix.combos)):
+        candidate = prefix.candidate(combo_index, model)
         if candidate is None:
             continue
-        for mo, rf in _orders_with_load_values(candidate, model.load_value):
-            if not _dynamic_clauses_hold(candidate, model, mo, rf):
+        dynamic_key = (combo_index, model.clause_names())
+        for mo, rf in prefix.orders_for(combo_index, candidate, model.load_value):
+            if not _dynamic_clauses_hold(
+                candidate,
+                model,
+                mo,
+                rf,
+                memo=prefix.dynamic_memo(),
+                memo_key=dynamic_key,
+            ):
                 continue
             final_regs = {
                 (proc, reg): value
@@ -646,10 +833,11 @@ def enumerate_outcomes(
     model: MemoryModel,
     extra_values: Iterable[int] = (),
     project: str = "observed",
+    prefix: Optional[CandidatePrefix] = None,
 ) -> frozenset[Outcome]:
     """The set of allowed outcomes, projected per :func:`project_outcome`."""
     outcomes: set[Outcome] = set()
-    for execution in enumerate_executions(test, model, extra_values):
+    for execution in enumerate_executions(test, model, extra_values, prefix=prefix):
         outcomes.add(
             project_outcome(test, execution.final_regs, execution.final_mem, project)
         )
@@ -661,6 +849,7 @@ def is_allowed(
     model: MemoryModel,
     outcome: Optional[Outcome] = None,
     extra_values: Iterable[int] = (),
+    prefix: Optional[CandidatePrefix] = None,
 ) -> bool:
     """Does the model allow ``outcome`` (default: the test's asked outcome)?"""
     if outcome is None:
@@ -670,7 +859,7 @@ def is_allowed(
     extra = set(extra_values)
     extra.update(v for _, _, v in outcome.regs)
     extra.update(v for _, v in outcome.mem)
-    for execution in enumerate_executions(test, model, extra):
+    for execution in enumerate_executions(test, model, extra, prefix=prefix):
         if outcome.matches(execution.final_regs, execution.final_mem):
             return True
     return False

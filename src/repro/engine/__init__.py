@@ -1,0 +1,78 @@
+"""Batch evaluation engine: shared candidates, parallel fan-out, caching.
+
+Every harness in this repository ultimately asks the axiomatic core the
+same two questions — "is this outcome allowed?" and "what is the outcome
+set?" — over a *grid* of (litmus test × memory model) cells: the verdict
+matrix sweeps the model zoo, the strength lattice compares outcome sets
+pairwise, and the equivalence checker pits each axiomatic model against
+its operational twin.  Run naively, every cell re-derives the same
+per-test work (value domains, program-run enumeration, event and
+candidate construction) once per model — for an 8-model zoo that is ~8×
+redundant.  This package is the shared harness that amortizes it, in the
+tradition of the single-candidate-generation litmus tools (herd and
+friends).
+
+Architecture::
+
+    cells (VerdictSpec / OutcomeSpec / EquivSpec)
+        │  grouped per test, order preserved
+        ▼
+    scheduler ── jobs=1 ──► in-process batches
+        │                       │
+        │  jobs>1               │ one CandidatePrefix per test:
+        ▼                       │   value domains + program runs
+    multiprocessing pool        │   + candidate bases, shared by
+    (one batch per task,        │   every model; static-ppo DAGs and
+     pool.map keeps results     │   (mo, rf) enumerations memoized
+     deterministic)             │   per clause set
+        │                       ▼
+        └──────────────► ResultCache (optional, content-hashed JSON;
+                         key = test content + model clauses +
+                         ENGINE_VERSION, so entries can't go stale)
+
+The three layers:
+
+* :mod:`repro.engine.cells` — cell specs, canonical content descriptors,
+  and single-cell evaluation against a shared
+  :class:`~repro.core.axiomatic.CandidatePrefix`;
+* :mod:`repro.engine.scheduler` — per-test batching, the worker protocol
+  (errors travel back as data and re-raise with the offending test's
+  name), and deterministic result ordering;
+* :mod:`repro.engine.cache` — the optional on-disk result cache that
+  makes repeated ``matrix`` / ``strength`` / CI runs incremental.
+
+``eval.litmus_matrix``, ``eval.strength`` and ``equivalence.checker`` are
+wired through :func:`evaluate_cells`; the ``matrix`` / ``strength`` /
+``equiv`` CLI commands expose ``--jobs N`` and ``--cache DIR``.  The
+per-test batch is also the seam for future scale-out: sharding a suite
+across machines or moving batches onto an async executor only replaces
+the scheduler's pool, not the cells or the cache.
+"""
+
+from __future__ import annotations
+
+from .cache import ResultCache, cell_cache_key
+from .cells import (
+    ENGINE_VERSION,
+    CellResult,
+    CellSpec,
+    EquivSpec,
+    OutcomeSpec,
+    VerdictSpec,
+    evaluate_cell,
+)
+from .scheduler import EngineWorkerError, evaluate_cells
+
+__all__ = [
+    "ENGINE_VERSION",
+    "CellResult",
+    "CellSpec",
+    "EquivSpec",
+    "OutcomeSpec",
+    "VerdictSpec",
+    "ResultCache",
+    "cell_cache_key",
+    "evaluate_cell",
+    "evaluate_cells",
+    "EngineWorkerError",
+]

@@ -1,0 +1,135 @@
+"""On-disk result cache: content-hashed cells, JSON payloads.
+
+Each cell's canonical descriptor (see :func:`repro.engine.cells
+.cell_descriptor`) is hashed with SHA-256; the verdict / outcome-set
+payload is stored as ``<hash>.json`` under the cache directory.  Because
+the key covers the test content, the model's clauses and the engine
+version, a cache entry can never serve a stale result: any change to the
+inputs changes the key, and semantic engine changes bump
+:data:`~repro.engine.cells.ENGINE_VERSION`.
+
+Outcome sets round-trip losslessly (register names are strings, processor
+ids / addresses / values are ints), so cached results are byte-identical
+to freshly computed ones once rendered.  Writes go through a temp file and
+an atomic rename, which keeps concurrent pool workers from ever observing
+a torn entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+from typing import Optional
+
+from ..litmus.test import Outcome
+from .cells import CellResult, CellSpec, EquivSpec, OutcomeSpec, VerdictSpec, cell_descriptor
+
+__all__ = ["ResultCache", "cell_cache_key"]
+
+
+def cell_cache_key(cell: CellSpec) -> str:
+    """The SHA-256 content hash identifying a cell's cache entry."""
+    descriptor = json.dumps(cell_descriptor(cell), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(descriptor.encode("utf-8")).hexdigest()
+
+
+def _outcome_to_json(outcome: Outcome) -> dict:
+    return {
+        "regs": sorted([proc, reg, value] for proc, reg, value in outcome.regs),
+        "mem": sorted([addr, value] for addr, value in outcome.mem),
+    }
+
+
+def _outcome_from_json(data: dict) -> Outcome:
+    return Outcome(
+        regs=frozenset((proc, reg, value) for proc, reg, value in data["regs"]),
+        mem=frozenset((addr, value) for addr, value in data["mem"]),
+    )
+
+
+def _outcomes_to_json(outcomes: frozenset) -> list:
+    return sorted(
+        (_outcome_to_json(outcome) for outcome in outcomes),
+        key=lambda d: (d["regs"], d["mem"]),
+    )
+
+
+def _outcomes_from_json(data: list) -> frozenset:
+    return frozenset(_outcome_from_json(d) for d in data)
+
+
+def _encode(cell: CellSpec, result: CellResult) -> dict:
+    if isinstance(cell, VerdictSpec):
+        return {"kind": "verdict", "allowed": result}
+    if isinstance(cell, OutcomeSpec):
+        return {"kind": "outcomes", "outcomes": _outcomes_to_json(result)}
+    if isinstance(cell, EquivSpec):
+        axiomatic, operational = result
+        return {
+            "kind": "equiv",
+            "axiomatic": _outcomes_to_json(axiomatic),
+            "operational": _outcomes_to_json(operational),
+        }
+    raise TypeError(f"unknown cell spec {cell!r}")
+
+
+def _decode(cell: CellSpec, payload: dict) -> CellResult:
+    if isinstance(cell, VerdictSpec):
+        return bool(payload["allowed"])
+    if isinstance(cell, OutcomeSpec):
+        return _outcomes_from_json(payload["outcomes"])
+    if isinstance(cell, EquivSpec):
+        return (
+            _outcomes_from_json(payload["axiomatic"]),
+            _outcomes_from_json(payload["operational"]),
+        )
+    raise TypeError(f"unknown cell spec {cell!r}")
+
+
+class ResultCache:
+    """A directory of content-addressed cell results."""
+
+    def __init__(self, root: os.PathLike | str) -> None:
+        self.root = pathlib.Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.root / f"{key}.json"
+
+    def load(self, cell: CellSpec) -> Optional[CellResult]:
+        """The cached result for ``cell``, or ``None`` on a miss.
+
+        Unreadable or mismatched entries (e.g. a kind collision from a
+        truncated write that slipped past the atomic rename) count as
+        misses rather than errors.
+        """
+        path = self._path(cell_cache_key(cell))
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if payload.get("kind") != cell_descriptor(cell)["kind"]:
+            return None
+        try:
+            return _decode(cell, payload)
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def store(self, cell: CellSpec, result: CellResult) -> None:
+        """Persist a cell result atomically (temp file + rename)."""
+        path = self._path(cell_cache_key(cell))
+        payload = json.dumps(_encode(cell, result), sort_keys=True)
+        fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise

@@ -1,0 +1,167 @@
+"""Evaluation cells: the unit of work the batch engine schedules.
+
+A *cell* is one entry of a test × model (or test × definition-pair) grid:
+
+* :class:`VerdictSpec` — "does ``model`` allow ``test``'s asked outcome?"
+  (the litmus verdict matrix);
+* :class:`OutcomeSpec` — the full projected outcome set (the strength
+  lattice);
+* :class:`EquivSpec` — axiomatic vs operational outcome sets for one
+  definition pair (the equivalence checker).
+
+Cells are small frozen dataclasses carrying the :class:`LitmusTest` itself
+(tests are picklable, so cells cross process boundaries untouched), and
+every cell exposes a *descriptor* — a canonical JSON-able structure hashed
+into the on-disk cache key.  Descriptors hash content, not names: two
+structurally identical tests share cache entries, and a model is keyed by
+its clause names, load-value axiom and coherence requirement (clause names
+fully determine clause behaviour in this repository's vocabulary).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..core.axiomatic import (
+    CandidatePrefix,
+    enumerate_outcomes,
+    is_allowed,
+)
+from ..litmus.test import LitmusTest
+from ..models.registry import get_model
+
+__all__ = [
+    "ENGINE_VERSION",
+    "VerdictSpec",
+    "OutcomeSpec",
+    "EquivSpec",
+    "CellSpec",
+    "CellResult",
+    "cell_descriptor",
+    "test_descriptor",
+    "model_descriptor",
+    "evaluate_cell",
+]
+
+ENGINE_VERSION = 1
+"""Bumped whenever engine/axiomatic semantics change, invalidating caches."""
+
+
+@dataclass(frozen=True)
+class VerdictSpec:
+    """One (test, model) verdict cell: is the asked outcome allowed?"""
+
+    test: LitmusTest
+    model_name: str
+
+
+@dataclass(frozen=True)
+class OutcomeSpec:
+    """One (test, model) outcome-set cell under a projection."""
+
+    test: LitmusTest
+    model_name: str
+    project: str = "full"
+
+
+@dataclass(frozen=True)
+class EquivSpec:
+    """One (test, definition-pair) cell: (axiomatic, operational) sets.
+
+    Pair names are the keys of
+    :func:`repro.equivalence.checker.default_pairs`; each names both an
+    axiomatic model and the operational definition it is compared against.
+    """
+
+    test: LitmusTest
+    pair_name: str
+
+
+CellSpec = Union[VerdictSpec, OutcomeSpec, EquivSpec]
+
+CellResult = Union[bool, frozenset, tuple]
+"""``bool`` for verdicts, ``frozenset[Outcome]`` for outcome sets, and an
+``(axiomatic, operational)`` pair of outcome sets for equivalence cells."""
+
+
+def test_descriptor(test: LitmusTest) -> dict:
+    """Canonical content descriptor of a litmus test (name-independent)."""
+    asked = None
+    if test.asked is not None:
+        asked = {
+            "regs": sorted([proc, reg, value] for proc, reg, value in test.asked.regs),
+            "mem": sorted([addr, value] for addr, value in test.asked.mem),
+        }
+    return {
+        "programs": [
+            [repr(instr) for instr in program] for program in test.programs
+        ],
+        "locations": sorted(test.locations.items()),
+        "initial_memory": sorted(test.initial_memory.items()),
+        "asked": asked,
+        "observed": sorted([proc, reg] for proc, reg in test.observed),
+    }
+
+
+def model_descriptor(model_name: str) -> dict:
+    """Canonical content descriptor of a registry model."""
+    model = get_model(model_name)
+    return {
+        "clauses": [c.name for c in model.clauses],
+        "dynamic_clauses": [c.name for c in model.dynamic_clauses],
+        "load_value": model.load_value,
+        "requires_coherence": model.requires_coherence,
+    }
+
+
+def cell_descriptor(cell: CellSpec) -> dict:
+    """The canonical descriptor hashed into a cell's cache key."""
+    if isinstance(cell, VerdictSpec):
+        return {
+            "engine_version": ENGINE_VERSION,
+            "kind": "verdict",
+            "test": test_descriptor(cell.test),
+            "model": model_descriptor(cell.model_name),
+        }
+    if isinstance(cell, OutcomeSpec):
+        return {
+            "engine_version": ENGINE_VERSION,
+            "kind": "outcomes",
+            "test": test_descriptor(cell.test),
+            "model": model_descriptor(cell.model_name),
+            "project": cell.project,
+        }
+    if isinstance(cell, EquivSpec):
+        return {
+            "engine_version": ENGINE_VERSION,
+            "kind": "equiv",
+            "test": test_descriptor(cell.test),
+            "pair": cell.pair_name,
+            "model": model_descriptor(cell.pair_name),
+        }
+    raise TypeError(f"unknown cell spec {cell!r}")
+
+
+def evaluate_cell(cell: CellSpec, prefix: Optional[CandidatePrefix]) -> CellResult:
+    """Evaluate one cell against a shared candidate prefix.
+
+    ``prefix`` must have been built for ``cell.test`` (or be ``None`` to
+    rebuild per call); sharing it across all cells of one test is the
+    engine's central amortization.
+    """
+    if isinstance(cell, VerdictSpec):
+        return is_allowed(cell.test, get_model(cell.model_name), prefix=prefix)
+    if isinstance(cell, OutcomeSpec):
+        return enumerate_outcomes(
+            cell.test, get_model(cell.model_name), project=cell.project, prefix=prefix
+        )
+    if isinstance(cell, EquivSpec):
+        from ..equivalence.checker import default_pairs  # cycle-free import
+
+        axiomatic = enumerate_outcomes(
+            cell.test, get_model(cell.pair_name), project="full", prefix=prefix
+        )
+        operational = default_pairs()[cell.pair_name][1](cell.test)
+        return axiomatic, operational
+    raise TypeError(f"unknown cell spec {cell!r}")

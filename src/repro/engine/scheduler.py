@@ -1,0 +1,154 @@
+"""Cell scheduler: shared-prefix batches, serial or pooled, cache-aware.
+
+The scheduler turns a flat cell list into per-test *batches* so every
+batch shares one :class:`~repro.core.axiomatic.CandidatePrefix` — the
+model-independent per-test work is computed exactly once no matter how
+many models are being judged.  Batches are the unit of fan-out: with
+``jobs > 1`` they are mapped over a ``multiprocessing`` pool (one test's
+cells never split across workers, which would forfeit the sharing), and
+``pool.map`` keeps completion order deterministic regardless of worker
+scheduling.  Results always come back in the order the cells were given.
+
+Worker failures are translated, not propagated raw: a
+:class:`~repro.core.axiomatic.DomainOverflowError` raised inside a worker
+is re-raised in the parent with the offending test's name, and any other
+exception surfaces as an :class:`EngineWorkerError` naming the test —
+never a bare pool traceback.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Iterable, Optional, Sequence
+
+from ..core.axiomatic import CandidatePrefix, DomainOverflowError
+from ..litmus.test import LitmusTest
+from .cache import ResultCache, cell_cache_key
+from .cells import CellResult, CellSpec, evaluate_cell, test_descriptor
+
+__all__ = ["EngineWorkerError", "evaluate_cells"]
+
+
+class EngineWorkerError(RuntimeError):
+    """A cell evaluation failed; carries the offending test's name."""
+
+    def __init__(self, test_name: str, message: str) -> None:
+        super().__init__(f"test {test_name!r}: {message}")
+        self.test_name = test_name
+
+
+def _group_by_test(
+    cells: Sequence[CellSpec],
+) -> list[tuple[LitmusTest, list[int]]]:
+    """Group cell indices by test identity, preserving first-seen order.
+
+    Identity is object identity first (the common case: callers build all
+    of a test's cells from one object) with a content-descriptor fallback
+    so structurally identical duplicates still share a prefix.
+    """
+    groups: list[tuple[LitmusTest, list[int]]] = []
+    by_key: dict = {}
+    for index, cell in enumerate(cells):
+        key = id(cell.test)
+        slot = by_key.get(key)
+        if slot is None:
+            content = repr(sorted(test_descriptor(cell.test).items()))
+            slot = by_key.get(content)
+            if slot is None:
+                groups.append((cell.test, []))
+                slot = by_key[content] = len(groups) - 1
+            by_key[key] = slot
+        groups[slot][1].append(index)
+    return groups
+
+
+def _evaluate_batch(
+    test: LitmusTest,
+    cells: Sequence[CellSpec],
+    cache_dir: Optional[str],
+) -> list[CellResult]:
+    """Evaluate one test's cells with a shared prefix, through the cache.
+
+    The prefix is built lazily: a batch fully served from the cache never
+    enumerates a single program run.
+    """
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    prefix: Optional[CandidatePrefix] = None
+    results: list[CellResult] = []
+    for cell in cells:
+        cached = cache.load(cell) if cache is not None else None
+        if cached is not None:
+            results.append(cached)
+            continue
+        if prefix is None:
+            prefix = CandidatePrefix(test)
+        result = evaluate_cell(cell, prefix)
+        if cache is not None:
+            cache.store(cell, result)
+        results.append(result)
+    return results
+
+
+def _run_batch(payload: tuple) -> tuple:
+    """Pool-side batch runner; returns a tagged result, never raises.
+
+    Exceptions crossing a pool boundary lose their context and surface as
+    opaque tracebacks, so errors travel back as data and are re-raised
+    with the test name by :func:`evaluate_cells`.
+    """
+    test, cells, cache_dir = payload
+    try:
+        return ("ok", _evaluate_batch(test, cells, cache_dir))
+    except DomainOverflowError as exc:
+        return ("domain-overflow", test.name, str(exc))
+    except Exception as exc:
+        return ("error", test.name, f"{type(exc).__name__}: {exc}")
+
+
+def evaluate_cells(
+    cells: Sequence[CellSpec],
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+) -> list[CellResult]:
+    """Evaluate a cell grid; results are ordered exactly like ``cells``.
+
+    ``jobs=1`` (the default) runs everything in-process — no pool, no
+    pickling, behaviour identical to the serial seed path.  ``jobs > 1``
+    fans per-test batches out over a ``multiprocessing`` pool.  With
+    ``cache_dir`` set, results are served from / persisted to the on-disk
+    :class:`~repro.engine.cache.ResultCache`.
+    """
+    cells = list(cells)
+    if not cells:
+        return []
+    if cache_dir is not None:
+        ResultCache(cache_dir)  # create/validate in the parent: a bad path
+        # should fail here with a plain OSError, not as a worker error.
+    groups = _group_by_test(cells)
+    payloads = [
+        (test, [cells[i] for i in indices], cache_dir)
+        for test, indices in groups
+    ]
+    if jobs <= 1 or len(payloads) == 1:
+        # In-process: evaluate directly so real exceptions keep their
+        # traceback; only DomainOverflowError gains the test-name prefix.
+        tagged = []
+        for test, batch, cdir in payloads:
+            try:
+                tagged.append(("ok", _evaluate_batch(test, batch, cdir)))
+            except DomainOverflowError as exc:
+                raise DomainOverflowError(f"test {test.name!r}: {exc}") from exc
+    else:
+        with multiprocessing.Pool(processes=min(jobs, len(payloads))) as pool:
+            tagged = pool.map(_run_batch, payloads)
+    results: list[Optional[CellResult]] = [None] * len(cells)
+    for (test, indices), outcome in zip(groups, tagged):
+        if outcome[0] == "domain-overflow":
+            _, test_name, message = outcome
+            raise DomainOverflowError(f"test {test_name!r}: {message}")
+        if outcome[0] == "error":
+            _, test_name, message = outcome
+            raise EngineWorkerError(test_name, message)
+        for index, result in zip(indices, outcome[1]):
+            results[index] = result
+    return results

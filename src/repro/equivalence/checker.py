@@ -110,14 +110,60 @@ def check_pair(
     )
 
 
+def _engine_reports(
+    tests: Sequence[LitmusTest],
+    pair_names: Sequence[str],
+    jobs: int,
+    cache_dir: Optional[str],
+) -> list[EquivalenceReport]:
+    """Evaluate default-pair cells through the batch engine."""
+    from ..engine import EquivSpec, evaluate_cells  # cycle-free import
+
+    known = default_pairs()
+    for pair_name in pair_names:
+        if pair_name not in known:
+            raise KeyError(
+                f"unknown definition pair {pair_name!r}; "
+                f"available: {', '.join(known)}"
+            )
+    specs = [
+        EquivSpec(test, pair_name)
+        for test in tests
+        for pair_name in pair_names
+    ]
+    results = evaluate_cells(specs, jobs=jobs, cache_dir=cache_dir)
+    return [
+        EquivalenceReport(
+            test_name=spec.test.name,
+            pair_name=spec.pair_name,
+            axiomatic=axiomatic,
+            operational=operational,
+        )
+        for spec, (axiomatic, operational) in zip(specs, results)
+    ]
+
+
 def check_suite(
     tests: Iterable[LitmusTest],
     pair_names: Sequence[str] = ("gam", "gam0", "sc", "tso"),
+    pairs: Optional[dict[str, tuple[OutcomeFn, OutcomeFn]]] = None,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> list[EquivalenceReport]:
-    """Compare the requested pairs over a whole suite."""
-    pairs = default_pairs()
+    """Compare the requested pairs over a whole suite.
+
+    With the default pairs, evaluation goes through the batch engine
+    (:mod:`repro.engine`): per-test candidate prefixes are shared across
+    ``pair_names``, ``jobs`` fans tests out over a process pool and
+    ``cache_dir`` makes repeat runs incremental.  A custom ``pairs``
+    mapping may hold arbitrary callables (often closures the pool cannot
+    ship), so it is evaluated in-process regardless of ``jobs``.
+    """
+    materialized = list(tests)
+    if pairs is None:
+        return _engine_reports(materialized, pair_names, jobs, cache_dir)
     reports = []
-    for test in tests:
+    for test in materialized:
         for pair_name in pair_names:
             reports.append(check_pair(test, pair_name, pairs))
     return reports
@@ -128,17 +174,23 @@ def fuzz_equivalence(
     seed: int = 0,
     config: Optional[RandomProgramConfig] = None,
     pair_names: Sequence[str] = ("gam", "gam0"),
+    pairs: Optional[dict[str, tuple[OutcomeFn, OutcomeFn]]] = None,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> list[EquivalenceReport]:
     """Random-program equivalence fuzzing (deterministic per seed).
 
     Returns one report per (random test, pair); callers assert all
-    ``report.equivalent``.
+    ``report.equivalent``.  ``pairs``, ``jobs`` and ``cache_dir`` behave
+    exactly as in :func:`check_suite`; test generation itself is always
+    in-process so the sequence of random programs is identical whatever
+    the fan-out.
     """
     rng = random.Random(seed)
-    pairs = default_pairs()
-    reports = []
-    for i in range(num_tests):
-        test = random_litmus_test(rng, config, name=f"fuzz-{seed}-{i}")
-        for pair_name in pair_names:
-            reports.append(check_pair(test, pair_name, pairs))
-    return reports
+    tests = [
+        random_litmus_test(rng, config, name=f"fuzz-{seed}-{i}")
+        for i in range(num_tests)
+    ]
+    return check_suite(
+        tests, pair_names=pair_names, pairs=pairs, jobs=jobs, cache_dir=cache_dir
+    )

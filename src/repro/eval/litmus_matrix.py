@@ -12,10 +12,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
-from ..core.axiomatic import is_allowed
+from ..engine import VerdictSpec, evaluate_cells
 from ..litmus.registry import all_tests, paper_suite
 from ..litmus.test import LitmusTest
-from ..models.registry import get_model
 from .render import render_table
 
 __all__ = ["VerdictCell", "litmus_matrix", "render_matrix", "conformance_failures"]
@@ -47,33 +46,44 @@ class VerdictCell:
 def litmus_matrix(
     tests: Optional[Iterable[LitmusTest]] = None,
     model_names: Sequence[str] = _MATRIX_MODELS,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> list[VerdictCell]:
-    """Evaluate every (test, model) verdict.
+    """Evaluate every (test, model) verdict through the batch engine.
 
     Defaults to the paper's figure tests against the full comparison zoo.
+    Candidate prefixes are shared across the model zoo per test; ``jobs``
+    fans per-test batches out over a process pool and ``cache_dir``
+    enables the on-disk result cache (both leave results identical).
     """
-    cells: list[VerdictCell] = []
     materialized = list(tests) if tests is not None else list(paper_suite())
-    models = {name: get_model(name) for name in model_names}
-    for test in materialized:
-        if test.asked is None:
-            continue
-        for name, model in models.items():
-            cells.append(
-                VerdictCell(
-                    test_name=test.name,
-                    model_name=name,
-                    allowed=is_allowed(test, model),
-                    expected=test.expect.get(name),
-                )
-            )
-    return cells
+    asked = [test for test in materialized if test.asked is not None]
+    specs = [
+        VerdictSpec(test, name) for test in asked for name in model_names
+    ]
+    verdicts = evaluate_cells(specs, jobs=jobs, cache_dir=cache_dir)
+    return [
+        VerdictCell(
+            test_name=spec.test.name,
+            model_name=spec.model_name,
+            allowed=allowed,
+            expected=spec.test.expect.get(spec.model_name),
+        )
+        for spec, allowed in zip(specs, verdicts)
+    ]
+
+
+def _model_column_key(name: str) -> tuple:
+    """Zoo models in zoo order, then unknown models alphabetically."""
+    if name in _MATRIX_MODELS:
+        return (0, _MATRIX_MODELS.index(name), "")
+    return (1, 0, name)
 
 
 def render_matrix(cells: Sequence[VerdictCell]) -> str:
     """Render the verdict matrix; cells are ``allow``/``forbid`` with ``!``
     marking disagreement with the paper and ``·`` where the paper is silent."""
-    model_names = sorted({c.model_name for c in cells}, key=_MATRIX_MODELS.index)
+    model_names = sorted({c.model_name for c in cells}, key=_model_column_key)
     test_names = list(dict.fromkeys(c.test_name for c in cells))
     by_key = {(c.test_name, c.model_name): c for c in cells}
     rows = []

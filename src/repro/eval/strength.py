@@ -13,10 +13,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
-from ..core.axiomatic import enumerate_outcomes
+from ..engine import OutcomeSpec, evaluate_cells
 from ..litmus.registry import all_tests
 from ..litmus.test import LitmusTest
-from ..models.registry import get_model
 from .render import render_table
 
 __all__ = ["StrengthMatrix", "strength_matrix", "render_strength"]
@@ -50,19 +49,27 @@ class StrengthMatrix:
 def strength_matrix(
     tests: Optional[Iterable[LitmusTest]] = None,
     model_names: Sequence[str] = _DEFAULT_MODELS,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> StrengthMatrix:
     """Measure pairwise strength over a suite (default: full catalogue).
 
     Tests whose programs a model cannot evaluate are never the case here —
-    all zoo models share the engine — so the matrix is total.
+    all zoo models share the engine — so the matrix is total.  Outcome
+    sets are enumerated through the batch engine: per-test candidate
+    prefixes are shared across ``model_names``, ``jobs`` fans tests out
+    over a process pool, ``cache_dir`` makes repeat runs incremental.
     """
     materialized = list(tests) if tests is not None else list(all_tests())
+    specs = [
+        OutcomeSpec(test, name, project="full")
+        for test in materialized
+        for name in model_names
+    ]
+    results = evaluate_cells(specs, jobs=jobs, cache_dir=cache_dir)
     outcome_sets: dict[str, list[frozenset]] = {name: [] for name in model_names}
-    for test in materialized:
-        for name in model_names:
-            outcome_sets[name].append(
-                enumerate_outcomes(test, get_model(name), project="full")
-            )
+    for spec, outcomes in zip(specs, results):
+        outcome_sets[spec.model_name].append(outcomes)
     relation: dict[tuple[str, str], bool] = {}
     for a in model_names:
         for b in model_names:

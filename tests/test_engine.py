@@ -1,0 +1,191 @@
+"""Tests for the batch evaluation engine (repro.engine).
+
+Covers the three tentpole properties: shared candidate prefixes produce
+exactly the serial results, the on-disk cache round-trips verdicts
+byte-identically, and multi-process fan-out changes nothing but
+wall-time.  Worker error reporting (DomainOverflowError with the
+offending test's name) is exercised in both serial and pooled modes.
+"""
+
+import json
+
+import pytest
+
+from repro.core.axiomatic import (
+    CandidatePrefix,
+    DomainOverflowError,
+    enumerate_outcomes,
+    is_allowed,
+)
+from repro.engine import (
+    EquivSpec,
+    OutcomeSpec,
+    ResultCache,
+    VerdictSpec,
+    cell_cache_key,
+    evaluate_cells,
+)
+from repro.equivalence.checker import check_suite
+from repro.eval.litmus_matrix import litmus_matrix, render_matrix
+from repro.eval.strength import render_strength, strength_matrix
+from repro.isa.expr import BinOp, Const, Reg
+from repro.litmus.dsl import LitmusBuilder
+from repro.litmus.registry import get_test
+from repro.models.registry import get_model
+
+_ZOO = ("sc", "tso", "gam", "gam0", "arm", "wmm", "alpha_like", "plsc")
+
+
+def _overflow_test(name="feedback-overflow"):
+    """A non-litmus-style program whose value domain exceeds the cap.
+
+    Each load feeds a store of ``3*r + 1``: the abstract domain roughly
+    triples per closure round, crossing the 64-value cap well before the
+    per-store round bound.
+    """
+    builder = LitmusBuilder(name, locations=("a",))
+    proc = builder.proc()
+    for i in range(8):
+        reg = f"r{i}"
+        proc.ld(reg, "a")
+        proc.st("a", BinOp("+", BinOp("*", Reg(reg), Const(3)), Const(1)))
+    return builder.build(asked={"P0.r0": 0})
+
+
+class TestSharedPrefix:
+    @pytest.mark.parametrize("test_name", ["dekker", "mp+addr", "corr", "iriw"])
+    def test_shared_prefix_matches_fresh_verdicts(self, test_name):
+        test = get_test(test_name)
+        prefix = CandidatePrefix(test)
+        for name in _ZOO:
+            model = get_model(name)
+            assert is_allowed(test, model, prefix=prefix) == is_allowed(test, model)
+
+    @pytest.mark.parametrize("test_name", ["dekker", "lb"])
+    def test_shared_prefix_matches_fresh_outcome_sets(self, test_name):
+        test = get_test(test_name)
+        prefix = CandidatePrefix(test)
+        for name in ("sc", "gam", "alpha_like", "plsc"):
+            model = get_model(name)
+            shared = enumerate_outcomes(test, model, project="full", prefix=prefix)
+            fresh = enumerate_outcomes(test, model, project="full")
+            assert shared == fresh
+
+    def test_partial_consumption_then_full_enumeration(self):
+        # is_allowed short-circuits; a later full enumeration over the same
+        # memoized order stream must still see every execution.
+        test = get_test("dekker")
+        prefix = CandidatePrefix(test)
+        gam = get_model("gam")
+        assert is_allowed(test, gam, prefix=prefix)  # consumes a prefix
+        shared = enumerate_outcomes(test, gam, project="full", prefix=prefix)
+        assert shared == enumerate_outcomes(test, gam, project="full")
+
+    def test_uncovered_extra_values_fall_back(self):
+        # A prefix that does not cover the requested extra values must be
+        # rebuilt, not silently reused.
+        test = get_test("dekker")
+        prefix = CandidatePrefix(test)
+        assert not prefix.covers({41})
+        outcome = test.parse_outcome({"P0.r1": 41})
+        gam = get_model("gam")
+        assert is_allowed(test, gam, outcome=outcome, prefix=prefix) is False
+
+    def test_engine_cells_match_direct_calls(self):
+        tests = [get_test("dekker"), get_test("mp")]
+        cells = [VerdictSpec(t, m) for t in tests for m in _ZOO]
+        results = evaluate_cells(cells)
+        for cell, result in zip(cells, results):
+            assert result == is_allowed(cell.test, get_model(cell.model_name))
+
+
+class TestCache:
+    def test_miss_then_hit_round_trips(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        test = get_test("dekker")
+        cells = [
+            VerdictSpec(test, "gam"),
+            OutcomeSpec(test, "sc", project="full"),
+            EquivSpec(test, "gam"),
+        ]
+        fresh = evaluate_cells(cells, cache_dir=cache)
+        assert len(list((tmp_path / "cache").glob("*.json"))) == 3
+        cached = evaluate_cells(cells, cache_dir=cache)
+        assert cached == fresh
+
+    def test_cached_matrix_renders_byte_identical(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        tests = [get_test("dekker"), get_test("mp+fences")]
+        first = render_matrix(litmus_matrix(tests=tests, cache_dir=cache))
+        second = render_matrix(litmus_matrix(tests=tests, cache_dir=cache))
+        baseline = render_matrix(litmus_matrix(tests=tests))
+        assert first == second == baseline
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        test = get_test("dekker")
+        cell = VerdictSpec(test, "gam")
+        cache = ResultCache(tmp_path)
+        path = tmp_path / f"{cell_cache_key(cell)}.json"
+        path.write_text("{ not json")
+        assert cache.load(cell) is None
+        cache.store(cell, True)
+        assert cache.load(cell) is True
+
+    def test_key_ignores_name_but_not_content(self):
+        dekker = get_test("dekker")
+        assert cell_cache_key(VerdictSpec(dekker, "gam")) != cell_cache_key(
+            VerdictSpec(dekker, "sc")
+        )
+        assert cell_cache_key(VerdictSpec(dekker, "gam")) != cell_cache_key(
+            VerdictSpec(get_test("mp"), "gam")
+        )
+
+    def test_cache_payload_is_json(self, tmp_path):
+        test = get_test("dekker")
+        cell = OutcomeSpec(test, "sc", project="full")
+        evaluate_cells([cell], cache_dir=str(tmp_path))
+        (payload_file,) = tmp_path.glob("*.json")
+        payload = json.loads(payload_file.read_text())
+        assert payload["kind"] == "outcomes"
+        assert payload["outcomes"]  # non-empty, sorted canonical form
+
+
+class TestErrorReporting:
+    def test_domain_overflow_names_test_serially(self):
+        with pytest.raises(DomainOverflowError, match="feedback-overflow"):
+            evaluate_cells([VerdictSpec(_overflow_test(), "gam")])
+
+    @pytest.mark.slow
+    def test_domain_overflow_names_test_from_worker(self):
+        cells = [
+            VerdictSpec(get_test("dekker"), "gam"),
+            VerdictSpec(_overflow_test(), "gam"),
+        ]
+        with pytest.raises(DomainOverflowError, match="feedback-overflow"):
+            evaluate_cells(cells, jobs=2)
+
+
+@pytest.mark.slow
+class TestParallelParity:
+    def test_matrix_jobs2_identical(self):
+        tests = [get_test("dekker"), get_test("mp"), get_test("corr")]
+        serial = render_matrix(litmus_matrix(tests=tests, jobs=1))
+        parallel = render_matrix(litmus_matrix(tests=tests, jobs=2))
+        assert serial == parallel
+
+    def test_strength_jobs2_identical(self):
+        tests = [get_test("dekker"), get_test("mp")]
+        names = ("sc", "gam", "gam0")
+        serial = render_strength(strength_matrix(tests=tests, model_names=names))
+        parallel = render_strength(
+            strength_matrix(tests=tests, model_names=names, jobs=2)
+        )
+        assert serial == parallel
+
+    def test_equiv_jobs2_identical(self):
+        tests = [get_test("dekker"), get_test("corr")]
+        serial = check_suite(tests, pair_names=("gam",), jobs=1)
+        parallel = check_suite(tests, pair_names=("gam",), jobs=2)
+        assert [(r.test_name, r.pair_name, r.axiomatic, r.operational) for r in serial] == [
+            (r.test_name, r.pair_name, r.axiomatic, r.operational) for r in parallel
+        ]

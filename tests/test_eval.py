@@ -53,6 +53,22 @@ class TestLitmusMatrix:
         assert "·" in rendered  # paper-silent cells are marked
         assert "allow!" not in rendered and "forbid!" not in rendered
 
+    def test_render_accepts_models_outside_default_zoo(self):
+        # Regression: sorting columns with _MATRIX_MODELS.index raised
+        # ValueError whenever litmus_matrix ran with a custom model zoo.
+        from repro.litmus.registry import get_test
+
+        cells = litmus_matrix(
+            tests=[get_test("dekker")],
+            model_names=("gam", "sc-gamlv", "sc", "rmo"),
+        )
+        rendered = render_matrix(cells)
+        header = rendered.splitlines()[1]
+        # Known zoo models keep zoo order; unknown ones follow alphabetically.
+        assert header.index("sc") < header.index("gam")
+        assert header.index("gam") < header.index("rmo")
+        assert header.index("rmo") < header.index("sc-gamlv")
+
 
 class TestFigure18Harness:
     def test_rows_and_stats_populated(self, sweep):
