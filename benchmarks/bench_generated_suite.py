@@ -1,0 +1,63 @@
+"""Generated-suite throughput through the batch engine.
+
+The cycle generator (:mod:`repro.litmus.frontend.gen`) turns the fixed
+catalogue into an open-ended test space; this benchmark measures how fast
+the batch engine chews through it — the number the ROADMAP's "as many
+scenarios as you can imagine" north star ultimately depends on.
+
+It times the full default generated suite (``edges<=4``, 50+ tests, 8-model
+zoo) at ``--jobs 1`` and ``--jobs N``, asserts the rendered matrices are
+byte-identical (fan-out must not change results), and records tests/second
+in ``results/BENCH_generated_suite.json`` alongside the engine-parallel
+numbers so the perf trajectory of generated workloads is tracked run over
+run.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import time
+
+from benchmarks.conftest import write_result
+from repro.eval.litmus_matrix import litmus_matrix, render_matrix
+from repro.litmus.frontend.gen import generate_suite
+
+
+def _best_of(fn, rounds=3):
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_generated_suite_throughput(results_dir):
+    suite = generate_suite(max_edges=4)
+    assert len(suite) >= 50
+
+    jobs = max(2, min(4, multiprocessing.cpu_count()))
+    serial_time, serial_cells = _best_of(
+        lambda: litmus_matrix(tests=suite, jobs=1)
+    )
+    parallel_time, parallel_cells = _best_of(
+        lambda: litmus_matrix(tests=suite, jobs=jobs)
+    )
+
+    assert render_matrix(parallel_cells) == render_matrix(serial_cells)
+
+    payload = {
+        "workload": f"generated suite (edges<=4, {len(suite)} tests), 8-model zoo",
+        "tests": len(suite),
+        "jobs": jobs,
+        "serial_s": round(serial_time, 4),
+        "parallel_s": round(parallel_time, 4),
+        "serial_tests_per_s": round(len(suite) / serial_time, 2),
+        "parallel_tests_per_s": round(len(suite) / parallel_time, 2),
+        "parallel_speedup": round(serial_time / parallel_time, 2),
+    }
+    write_result(
+        results_dir, "BENCH_generated_suite.json", json.dumps(payload, indent=2)
+    )

@@ -2,21 +2,30 @@
 
 Commands:
 
-* ``list {tests|models|workloads}`` — catalogue contents;
-* ``show TEST`` — print a litmus test's programs and asked outcome;
+* ``list {tests|models|workloads} [--suite SUITE]`` — catalogue contents;
+* ``show TEST [--format {pretty,litmus}]`` — print a litmus test;
 * ``check TEST [-m MODEL] [--operational]`` — allowed or forbidden?
 * ``outcomes TEST [-m MODEL] [--full]`` — enumerate the outcome set;
 * ``witness TEST [-m MODEL]`` — a concrete ``<mo, rf>`` for the outcome;
 * ``diff TEST WEAKER STRONGER`` — outcome-set difference of two models;
-* ``matrix [--suite {paper,standard,all}] [--jobs N] [--cache DIR]`` —
-  the verdict matrix;
-* ``equiv [TEST ...] [--jobs N] [--cache DIR]`` — axiomatic-vs-operational
-  agreement;
+* ``matrix [--suite SUITE] [--jobs N] [--cache DIR]`` — the verdict matrix;
+* ``equiv [TEST ...] [--suite SUITE] [--jobs N] [--cache DIR]`` —
+  axiomatic-vs-operational agreement;
 * ``synth TEST [-m MODEL]`` — minimal fences restoring SC;
-* ``strength [--suite ...] [--jobs N] [--cache DIR]`` — the measured
+* ``strength [--suite SUITE] [--jobs N] [--cache DIR]`` — the measured
   model-strength lattice;
+* ``gen [--edges N] [--size M] [--seed S] [-o DIR]`` — cycle-based litmus
+  test generation (diy-style);
+* ``import FILE [FILE ...]`` — parse and validate ``.litmus`` files;
+* ``export [--suite SUITE] [-o DIR]`` — print/write tests as ``.litmus``;
 * ``sim [--workloads ...] [--length N] [--checkpoints K]`` — Figure 18 +
   Tables II/III.
+
+``SUITE`` is either a static suite name (``paper``, ``standard``,
+``all``), a generator spec (``gen:edges=4[,size=50][,seed=7]``), or a
+path to a ``.litmus`` file or a directory of them — so generated and
+imported suites flow through the same harnesses as the built-in
+catalogue.
 
 The grid-shaped commands (``matrix``, ``equiv``, ``strength``) run on the
 batch evaluation engine (:mod:`repro.engine`): per-test candidate work is
@@ -35,7 +44,29 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "CLIUsageError"]
+
+
+class CLIUsageError(Exception):
+    """Bad command-line input detected after argparse (exit status 2).
+
+    Wraps user-input errors (bad ``gen:`` specs, import name collisions)
+    so :func:`main` can report them cleanly without catching the broad
+    exception types that real bugs raise.
+    """
+
+
+def _resolve_suite(spec: str):
+    """Resolve a ``--suite`` spec, mapping bad input to :class:`CLIUsageError`."""
+    from .litmus.frontend.parser import LitmusParseError
+    from .litmus.frontend.suite import resolve_suite
+
+    try:
+        return resolve_suite(spec)
+    except LitmusParseError:
+        raise  # reported with its line/path context
+    except ValueError as exc:  # bad gen:... spec or budget
+        raise CLIUsageError(str(exc)) from exc
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -46,15 +77,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    suite_help = (
+        "paper|standard|all, gen:edges=N[,size=M][,seed=S], "
+        "or a .litmus file/directory path"
+    )
+
     list_cmd = sub.add_parser("list", help="list catalogue contents")
     list_cmd.add_argument(
         "what",
         choices=("tests", "models", "workloads"),
         help="which catalogue to list",
     )
+    list_cmd.add_argument(
+        "--suite",
+        default="all",
+        metavar="SUITE",
+        help=f"restrict 'list tests' to one suite ({suite_help})",
+    )
 
     show = sub.add_parser("show", help="print a litmus test")
     show.add_argument("test", help="litmus test name")
+    show.add_argument(
+        "--format",
+        choices=("pretty", "litmus"),
+        default="pretty",
+        help="output format: annotated programs or .litmus text",
+    )
 
     check = sub.add_parser("check", help="is the asked outcome allowed?")
     check.add_argument("test", help="litmus test name")
@@ -101,14 +149,20 @@ def build_parser() -> argparse.ArgumentParser:
     matrix = sub.add_parser("matrix", help="verdict matrix across the model zoo")
     matrix.add_argument(
         "--suite",
-        choices=("paper", "standard", "all"),
         default="paper",
-        help="which test suite to evaluate",
+        metavar="SUITE",
+        help=f"which test suite to evaluate ({suite_help})",
     )
     add_engine_flags(matrix)
 
     equiv = sub.add_parser("equiv", help="axiomatic vs operational agreement")
     equiv.add_argument("tests", nargs="*", help="test names (default: paper suite)")
+    equiv.add_argument(
+        "--suite",
+        default=None,
+        metavar="SUITE",
+        help=f"check a whole suite instead of named tests ({suite_help})",
+    )
     equiv.add_argument(
         "--pairs",
         default="gam,gam0",
@@ -130,11 +184,53 @@ def build_parser() -> argparse.ArgumentParser:
     )
     strength.add_argument(
         "--suite",
-        choices=("paper", "standard", "all"),
         default="paper",
-        help="which test suite to measure over",
+        metavar="SUITE",
+        help=f"which test suite to measure over ({suite_help})",
     )
     add_engine_flags(strength)
+
+    gen = sub.add_parser(
+        "gen", help="generate litmus tests from critical cycles (diy-style)"
+    )
+    gen.add_argument(
+        "--edges", type=int, default=4, metavar="N",
+        help="cycle-length budget (default: 4)",
+    )
+    gen.add_argument(
+        "--size", type=int, default=None, metavar="M",
+        help="keep at most M tests (default: all)",
+    )
+    gen.add_argument(
+        "--seed", type=int, default=None, metavar="S",
+        help="deterministic shuffle before the --size cap",
+    )
+    gen.add_argument(
+        "-o", "--out", default=None, metavar="DIR",
+        help="write one .litmus file per test into DIR",
+    )
+    gen.add_argument(
+        "--quiet", action="store_true", help="print only the summary line"
+    )
+
+    import_cmd = sub.add_parser(
+        "import", help="parse, validate and register .litmus files"
+    )
+    import_cmd.add_argument(
+        "files", nargs="+", metavar="FILE", help=".litmus files or directories"
+    )
+
+    export = sub.add_parser("export", help="write tests out as .litmus text")
+    export.add_argument(
+        "--suite",
+        default="all",
+        metavar="SUITE",
+        help=f"which tests to export ({suite_help})",
+    )
+    export.add_argument(
+        "-o", "--out", default=None, metavar="DIR",
+        help="write one .litmus file per test into DIR (default: stdout)",
+    )
 
     sim = sub.add_parser("sim", help="run the Section V evaluation")
     sim.add_argument(
@@ -155,9 +251,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _cmd_list(args: argparse.Namespace) -> int:
     if args.what == "tests":
-        from .litmus.registry import all_tests
-
-        for test in all_tests():
+        for test in _resolve_suite(args.suite):
             source = f" ({test.source})" if test.source else ""
             print(f"{test.name:24s}{source} {test.description}")
     elif args.what == "models":
@@ -180,7 +274,13 @@ def _cmd_list(args: argparse.Namespace) -> int:
 def _cmd_show(args: argparse.Namespace) -> int:
     from .litmus.registry import get_test
 
-    print(get_test(args.test))
+    test = get_test(args.test)
+    if args.format == "litmus":
+        from .litmus.frontend.printer import print_litmus
+
+        print(print_litmus(test), end="")
+    else:
+        print(test)
     return 0
 
 
@@ -267,22 +367,23 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
         litmus_matrix,
         render_matrix,
     )
-    from .litmus.registry import all_tests, paper_suite, standard_suite
-
-    suites = {
-        "paper": paper_suite,
-        "standard": standard_suite,
-        "all": all_tests,
-    }
     cells = litmus_matrix(
-        tests=suites[args.suite](), jobs=args.jobs, cache_dir=args.cache
+        tests=_resolve_suite(args.suite), jobs=args.jobs, cache_dir=args.cache
     )
-    print(render_matrix(cells))
+    # The paper suite keeps its historical figure-listing title; other
+    # suites are not the paper's figures and are titled by their spec.
+    title = None if args.suite == "paper" else (
+        f"Litmus verdict matrix ({args.suite} suite)"
+    )
+    print(render_matrix(cells, title=title))
     failures = conformance_failures(cells)
     if failures:
         print(f"{len(failures)} verdicts disagree with the paper")
         return 1
-    print("all verdicts agree with the paper")
+    if all(cell.expected is None for cell in cells):
+        print("the paper is silent on this suite; no verdicts to check")
+    else:
+        print("all verdicts agree with the paper")
     return 0
 
 
@@ -291,11 +392,13 @@ def _cmd_equiv(args: argparse.Namespace) -> int:
     from .litmus.registry import get_test, paper_suite
 
     pair_names = [p.strip() for p in args.pairs.split(",") if p.strip()]
-    tests = (
-        [get_test(name) for name in args.tests]
-        if args.tests
-        else list(paper_suite())
-    )
+    if args.suite is not None:
+        tests = _resolve_suite(args.suite)
+        tests += [get_test(name) for name in args.tests]
+    elif args.tests:
+        tests = [get_test(name) for name in args.tests]
+    else:
+        tests = list(paper_suite())
     status = 0
     reports = check_suite(
         tests, pair_names=pair_names, jobs=args.jobs, cache_dir=args.cache
@@ -339,13 +442,96 @@ def _cmd_synth(args: argparse.Namespace) -> int:
 
 def _cmd_strength(args: argparse.Namespace) -> int:
     from .eval.strength import render_strength, strength_matrix
-    from .litmus.registry import all_tests, paper_suite, standard_suite
 
-    suites = {"paper": paper_suite, "standard": standard_suite, "all": all_tests}
     matrix = strength_matrix(
-        tests=suites[args.suite](), jobs=args.jobs, cache_dir=args.cache
+        tests=_resolve_suite(args.suite), jobs=args.jobs, cache_dir=args.cache
     )
     print(render_strength(matrix))
+    return 0
+
+
+def _write_litmus_dir(tests, out_dir: str) -> None:
+    import os
+
+    from .litmus.frontend.printer import print_litmus
+
+    os.makedirs(out_dir, exist_ok=True)
+    for test in tests:
+        path = os.path.join(out_dir, f"{test.name}.litmus")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(print_litmus(test))
+
+
+def _cmd_gen(args: argparse.Namespace) -> int:
+    from .litmus.frontend.gen import generate_suite
+    from .litmus.frontend.suite import SuiteRegistry
+
+    try:
+        tests = generate_suite(
+            max_edges=args.edges, size=args.size, seed=args.seed
+        )
+    except ValueError as exc:  # budget below the minimum cycle length
+        raise CLIUsageError(str(exc)) from exc
+    # Generated names are deterministic functions of their cycle, so
+    # re-registering them (e.g. two gen runs in one process) is idempotent.
+    SuiteRegistry().register_all(tests, suite="generated", replace=True)
+    if not args.quiet:
+        for test in tests:
+            print(f"{test.name:40s} P={test.num_procs} {test.asked}")
+    if args.out is not None:
+        _write_litmus_dir(tests, args.out)
+        print(f"wrote {len(tests)} .litmus files to {args.out}")
+    print(
+        f"generated {len(tests)} tests "
+        f"(edges<={args.edges}, size={args.size}, seed={args.seed})"
+    )
+    return 0
+
+
+def _cmd_import(args: argparse.Namespace) -> int:
+    from .litmus.frontend.parser import LitmusParseError, parse_litmus
+    from .litmus.frontend.printer import print_litmus
+    from .litmus.frontend.suite import SuiteRegistry
+
+    # Detached registry: importing a file that shadows a catalogue name is
+    # fine for validation; only duplicate names *within* the import fail.
+    suite = SuiteRegistry(attach=False)
+    names: list[str] = []
+    for path in args.files:
+        try:
+            loaded = suite.load_path(path, suite="imported")
+        except LitmusParseError:
+            raise  # reported with its file/line context
+        except ValueError as exc:  # duplicate name within the import
+            raise CLIUsageError(str(exc)) from exc
+        for name in loaded:
+            test = suite.get(name)
+            # Validate the printer/parser round trip on every import.
+            if parse_litmus(print_litmus(test)) != test:
+                print(f"error: {name!r} does not round-trip", file=sys.stderr)
+                return 2
+            names.append(name)
+            instrs = sum(len(program) for program in test.programs)
+            print(
+                f"imported {test.name:32s} P={test.num_procs} "
+                f"instrs={instrs} asked={test.asked}"
+            )
+    print(f"{len(names)} test(s) imported")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from .litmus.frontend.printer import print_litmus
+
+    tests = _resolve_suite(args.suite)
+    if args.out is not None:
+        _write_litmus_dir(tests, args.out)
+        print(f"wrote {len(tests)} .litmus files to {args.out}")
+        return 0
+    for i, test in enumerate(tests):
+        if i:
+            print()
+        print(print_litmus(test), end="")
     return 0
 
 
@@ -384,6 +570,9 @@ _COMMANDS = {
     "equiv": _cmd_equiv,
     "synth": _cmd_synth,
     "strength": _cmd_strength,
+    "gen": _cmd_gen,
+    "import": _cmd_import,
+    "export": _cmd_export,
     "sim": _cmd_sim,
 }
 
@@ -394,13 +583,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     from .core.axiomatic import DomainOverflowError
     from .engine import EngineWorkerError
+    from .litmus.frontend.parser import LitmusParseError
+    from .litmus.frontend.printer import LitmusPrintError
 
     try:
         return _COMMANDS[args.command](args)
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
-    except (DomainOverflowError, EngineWorkerError, OSError) as exc:
+    except (
+        DomainOverflowError,
+        EngineWorkerError,
+        LitmusParseError,
+        LitmusPrintError,
+        CLIUsageError,
+        OSError,
+    ) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

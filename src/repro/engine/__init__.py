@@ -43,10 +43,15 @@ The three layers:
 
 ``eval.litmus_matrix``, ``eval.strength`` and ``equivalence.checker`` are
 wired through :func:`evaluate_cells`; the ``matrix`` / ``strength`` /
-``equiv`` CLI commands expose ``--jobs N`` and ``--cache DIR``.  The
-per-test batch is also the seam for future scale-out: sharding a suite
-across machines or moving batches onto an async executor only replaces
-the scheduler's pool, not the cells or the cache.
+``equiv`` CLI commands expose ``--jobs N`` and ``--cache DIR``.  Cells
+are agnostic to where their tests come from: the static catalogue, a
+parsed ``.litmus`` corpus or the cycle generator
+(:mod:`repro.litmus.frontend`) all flow through unchanged — the cache
+keys hash test *content*, so structurally identical generated and
+hand-written tests share entries.  The per-test batch is also the seam
+for future scale-out: sharding a suite across machines or moving batches
+onto an async executor only replaces the scheduler's pool, not the cells
+or the cache.
 """
 
 from __future__ import annotations

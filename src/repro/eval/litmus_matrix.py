@@ -80,9 +80,17 @@ def _model_column_key(name: str) -> tuple:
     return (1, 0, name)
 
 
-def render_matrix(cells: Sequence[VerdictCell]) -> str:
+_DEFAULT_TITLE = "Litmus verdict matrix (paper figures 2, 5, 8, 9, 13, 14)"
+
+
+def render_matrix(
+    cells: Sequence[VerdictCell], title: Optional[str] = None
+) -> str:
     """Render the verdict matrix; cells are ``allow``/``forbid`` with ``!``
-    marking disagreement with the paper and ``·`` where the paper is silent."""
+    marking disagreement with the paper and ``·`` where the paper is silent.
+
+    ``title`` overrides the default (paper-figure) heading — generated and
+    imported suites are not the paper's figures."""
     model_names = sorted({c.model_name for c in cells}, key=_model_column_key)
     test_names = list(dict.fromkeys(c.test_name for c in cells))
     by_key = {(c.test_name, c.model_name): c for c in cells}
@@ -108,7 +116,7 @@ def render_matrix(cells: Sequence[VerdictCell]) -> str:
     table = render_table(
         ["test"] + list(model_names),
         rows,
-        title="Litmus verdict matrix (paper figures 2, 5, 8, 9, 13, 14)",
+        title=title if title is not None else _DEFAULT_TITLE,
     )
     return table + "\n" + legend
 

@@ -120,6 +120,19 @@ class Program:
         lines = [f"  I{i}: {instr!r}" for i, instr in enumerate(self.instructions)]
         return "Program(\n" + "\n".join(lines) + "\n)"
 
+    def __eq__(self, other: object) -> bool:
+        """Structural equality: same instructions and same labels.
+
+        Needed so litmus tests compare by content — the ``.litmus``
+        round-trip property ``parse(print(t)) == t`` relies on it.
+        """
+        if not isinstance(other, Program):
+            return NotImplemented
+        return self.instructions == other.instructions and self.labels == other.labels
+
+    def __hash__(self) -> int:
+        return hash((self.instructions, tuple(sorted(self.labels.items()))))
+
     def load_indices(self) -> tuple[int, ...]:
         """Static indices of all load instructions."""
         return tuple(i for i, ins in enumerate(self.instructions) if ins.is_load)

@@ -1,7 +1,29 @@
-"""Litmus-test infrastructure and the paper's test catalogue."""
+"""Litmus-test infrastructure and the paper's test catalogue.
+
+The ``frontend`` subpackage adds the ``.litmus`` parser/printer, the
+cycle-based test generator and the mutable suite registry; its exports
+are re-exported here for convenience.
+"""
 
 from .dsl import LitmusBuilder, ProcBuilder
-from .registry import all_tests, get_test, paper_suite, standard_suite, test_names
+from .frontend import (
+    LitmusParseError,
+    LitmusPrintError,
+    SuiteRegistry,
+    generate_suite,
+    parse_litmus,
+    print_litmus,
+    resolve_suite,
+)
+from .registry import (
+    all_tests,
+    get_test,
+    paper_suite,
+    register,
+    standard_suite,
+    test_names,
+    unregister,
+)
 from .test import LitmusTest, Outcome
 
 __all__ = [
@@ -14,4 +36,13 @@ __all__ = [
     "test_names",
     "paper_suite",
     "standard_suite",
+    "register",
+    "unregister",
+    "parse_litmus",
+    "print_litmus",
+    "LitmusParseError",
+    "LitmusPrintError",
+    "SuiteRegistry",
+    "generate_suite",
+    "resolve_suite",
 ]

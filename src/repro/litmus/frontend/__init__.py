@@ -1,0 +1,32 @@
+"""Litmus frontend: ``.litmus`` parser/printer, cycle generator, suites.
+
+The scenario-diversity seam of the repository: instead of the fixed
+hand-coded catalogue, tests can be read from herd-style ``.litmus`` text
+(:mod:`.parser`), written back out (:mod:`.printer`), synthesized from
+critical cycles over a relaxation-edge vocabulary (:mod:`.gen`), and
+organized into mutable, collision-checked suites that the batch engine
+and the CLI consume (:mod:`.suite`).
+"""
+
+from __future__ import annotations
+
+from .gen import VOCABULARY, cycle_to_test, enumerate_cycles, generate_suite
+from .parser import LitmusParseError, parse_litmus, parse_litmus_file
+from .printer import LitmusPrintError, print_litmus
+from .suite import STATIC_SUITES, SuiteRegistry, load_litmus_path, resolve_suite
+
+__all__ = [
+    "VOCABULARY",
+    "cycle_to_test",
+    "enumerate_cycles",
+    "generate_suite",
+    "LitmusParseError",
+    "parse_litmus",
+    "parse_litmus_file",
+    "LitmusPrintError",
+    "print_litmus",
+    "STATIC_SUITES",
+    "SuiteRegistry",
+    "load_litmus_path",
+    "resolve_suite",
+]

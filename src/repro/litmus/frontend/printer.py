@@ -1,0 +1,245 @@
+"""Printer: render a :class:`LitmusTest` as herd-style ``.litmus`` text.
+
+The emitted dialect is the one :mod:`repro.litmus.frontend.parser` accepts;
+``parse_litmus(print_litmus(t))`` reconstructs a test equal to ``t`` and
+``print_litmus`` of the reparsed test is byte-identical (the golden-file
+round-trip property the test suite enforces for every registered test).
+
+Layout::
+
+    GAM dekker
+    "Store buffering; SC forbids r1=r2=0."
+    (* source: Figure 2 *)
+    (* expect: gam=allow sc=forbid tso=allow *)
+    { a; b; }
+     P0          | P1          ;
+     St [a] 1    | St [b] 1    ;
+     r1 = Ld [b] | r2 = Ld [a] ;
+    exists (0:r1=0 /\\ 1:r2=0)
+
+Init entries are ``name;`` for a bare location declaration, ``name = 5;``
+for an explicit initial value and ``name = &other;`` when a location
+initially holds another location's address (Figure 9).  Addresses follow
+the :data:`~repro.litmus.dsl.LOCATION_STRIDE` layout; a location whose
+address deviates from it is declared with an ``@ 0x...`` suffix.
+"""
+
+from __future__ import annotations
+
+from ..dsl import LOCATION_STRIDE
+from ..test import LitmusTest
+# The parser owns the dialect's precedence tables; sharing them keeps the
+# minimal-parenthesization round trip exact by construction.
+from .parser import BIN_PRECEDENCE as PRECEDENCE
+from .parser import UNARY_PRECEDENCE
+from ...isa.expr import BinOp, Const, Expr, Reg, UnOp
+from ...isa.instructions import (
+    Branch,
+    Fence,
+    Instruction,
+    Load,
+    Nop,
+    RegOp,
+    Rmw,
+    Store,
+)
+
+__all__ = ["print_litmus", "format_expr", "format_instruction", "LitmusPrintError"]
+
+ARCH = "GAM"
+"""Architecture tag emitted on the header line of every printed test."""
+
+
+class LitmusPrintError(ValueError):
+    """Raised when a test uses a construct the ``.litmus`` dialect lacks."""
+
+
+def format_expr(
+    expr: Expr, addr_names: dict[int, str], parent_prec: int = 0
+) -> str:
+    """Format an operand expression with minimal parentheses.
+
+    ``addr_names`` maps location addresses to their symbolic names;
+    constants matching a location print as the name (the parser resolves
+    names back to the same constant, so the round trip is exact).
+    """
+    if isinstance(expr, Reg):
+        if expr.name in addr_names.values():
+            raise LitmusPrintError(
+                f"register {expr.name!r} shadows a location name"
+            )
+        return expr.name
+    if isinstance(expr, Const):
+        if expr.value in addr_names:
+            return addr_names[expr.value]
+        if expr.value < 0:
+            raise LitmusPrintError(
+                f"negative constant {expr.value} has no unambiguous "
+                "litmus spelling; use UnOp('-', Const(n))"
+            )
+        return str(expr.value)
+    if isinstance(expr, BinOp):
+        if expr.op not in PRECEDENCE:
+            # '|' in particular: it is the thread column separator, so the
+            # dialect cannot spell it inside an instruction cell.
+            raise LitmusPrintError(
+                f"operator {expr.op!r} has no .litmus spelling"
+            )
+        prec = PRECEDENCE[expr.op]
+        left = format_expr(expr.left, addr_names, prec)
+        # All operators are left-associative: a right child at the same
+        # precedence needs parentheses to survive reparsing.
+        right = format_expr(expr.right, addr_names, prec + 1)
+        text = f"{left} {expr.op} {right}"
+        return f"({text})" if prec < parent_prec else text
+    if isinstance(expr, UnOp):
+        operand = format_expr(expr.operand, addr_names, UNARY_PRECEDENCE)
+        text = f"{expr.op}{operand}"
+        return f"({text})" if UNARY_PRECEDENCE < parent_prec else text
+    raise LitmusPrintError(f"cannot print expression {expr!r}")
+
+
+def format_instruction(instr: Instruction, addr_names: dict[int, str]) -> str:
+    """Format one instruction in the thread-column dialect."""
+    if isinstance(instr, Load):
+        return f"{instr.dst} = Ld [{format_expr(instr.addr, addr_names)}]"
+    if isinstance(instr, Store):
+        addr = format_expr(instr.addr, addr_names)
+        data = format_expr(instr.data, addr_names)
+        return f"St [{addr}] {data}"
+    if isinstance(instr, Rmw):
+        addr = format_expr(instr.addr, addr_names)
+        data = format_expr(instr.data, addr_names)
+        return f"{instr.dst} = RMW [{addr}] {data}"
+    if isinstance(instr, Fence):
+        return f"Fence{instr.pre}{instr.post}"
+    if isinstance(instr, RegOp):
+        return f"{instr.dst} = {format_expr(instr.expr, addr_names)}"
+    if isinstance(instr, Branch):
+        cond = format_expr(instr.cond, addr_names)
+        return f"if ({cond}) goto {instr.target}"
+    if isinstance(instr, Nop):
+        return "Nop"
+    raise LitmusPrintError(f"cannot print instruction {instr!r}")
+
+
+def _default_addresses(count: int) -> list[int]:
+    return [LOCATION_STRIDE * (i + 1) for i in range(count)]
+
+
+def _init_entries(test: LitmusTest, addr_names: dict[int, str]) -> list[str]:
+    """The init-block entries, one per location, sorted by address."""
+    ordered = sorted(test.locations.items(), key=lambda item: item[1])
+    defaults = _default_addresses(len(ordered))
+    entries = []
+    for (name, addr), default in zip(ordered, defaults):
+        entry = name
+        if addr != default:
+            entry += f" @ {addr:#x}"
+        if addr in test.initial_memory:
+            value = test.initial_memory[addr]
+            if value in addr_names:
+                entry += f" = &{addr_names[value]}"
+            elif value < 0:
+                raise LitmusPrintError(
+                    f"negative initial value {value} for location {name!r}"
+                )
+            else:
+                entry += f" = {value}"
+        entries.append(entry + ";")
+    for addr in test.initial_memory:
+        if addr not in addr_names:
+            raise LitmusPrintError(
+                f"initial memory at unnamed address {addr:#x}"
+            )
+    return entries
+
+
+def _program_cells(test: LitmusTest, addr_names: dict[int, str]) -> list[list[str]]:
+    """Each program as a cell column: labels get their own rows."""
+    columns = []
+    for program in test.programs:
+        labels_at: dict[int, list[str]] = {}
+        for label, index in program.labels.items():
+            labels_at.setdefault(index, []).append(label)
+        cells: list[str] = []
+        for index, instr in enumerate(program.instructions):
+            for label in sorted(labels_at.get(index, ())):
+                cells.append(f"{label}:")
+            cells.append(format_instruction(instr, addr_names))
+        for label in sorted(labels_at.get(len(program.instructions), ())):
+            cells.append(f"{label}:")
+        columns.append(cells)
+    return columns
+
+
+def _condition(test: LitmusTest, addr_names: dict[int, str]) -> str:
+    """The ``exists`` conjunction, deterministically ordered."""
+    assert test.asked is not None
+    parts = []
+    for proc, reg, value in sorted(test.asked.regs):
+        parts.append(f"{proc}:{reg}={_value_text(value, addr_names)}")
+    for addr, value in sorted(test.asked.mem):
+        if addr not in addr_names:
+            raise LitmusPrintError(f"condition on unnamed address {addr:#x}")
+        parts.append(f"{addr_names[addr]}={_value_text(value, addr_names)}")
+    return " /\\ ".join(parts)
+
+
+def _value_text(value: int, addr_names: dict[int, str]) -> str:
+    if value in addr_names:
+        return f"&{addr_names[value]}"
+    if value < 0:
+        raise LitmusPrintError(f"negative condition value {value}")
+    return str(value)
+
+
+def print_litmus(test: LitmusTest) -> str:
+    """Render ``test`` as ``.litmus`` text (ends with a newline)."""
+    addr_names = {
+        addr: name for name, addr in sorted(test.locations.items())
+    }
+    if len(addr_names) != len(test.locations):
+        raise LitmusPrintError("two locations share one address")
+    lines = [f"{ARCH} {test.name}"]
+    if test.description:
+        if '"' in test.description:
+            raise LitmusPrintError("description may not contain double quotes")
+        lines.append(f'"{test.description}"')
+    if test.source:
+        lines.append(f"(* source: {test.source} *)")
+    if test.expect:
+        verdicts = " ".join(
+            f"{model}={'allow' if allowed else 'forbid'}"
+            for model, allowed in sorted(test.expect.items())
+        )
+        lines.append(f"(* expect: {verdicts} *)")
+    lines.append("{ " + " ".join(_init_entries(test, addr_names)) + " }")
+
+    columns = _program_cells(test, addr_names)
+    height = max((len(cells) for cells in columns), default=0)
+    for cells in columns:
+        cells.extend([""] * (height - len(cells)))
+    headers = [f"P{i}" for i in range(len(columns))]
+    widths = [
+        max(len(headers[i]), *(len(c) for c in cells)) if cells else len(headers[i])
+        for i, cells in enumerate(columns)
+    ]
+    lines.append(
+        " " + " | ".join(h.ljust(w) for h, w in zip(headers, widths)) + " ;"
+    )
+    for row in range(height):
+        cells = [columns[i][row].ljust(widths[i]) for i in range(len(columns))]
+        lines.append(" " + " | ".join(cells) + " ;")
+
+    default_observed = frozenset(
+        (proc, reg) for proc, reg, _ in (test.asked.regs if test.asked else ())
+    )
+    if test.observed != default_observed:
+        observed = "; ".join(
+            f"{proc}:{reg}" for proc, reg in sorted(test.observed)
+        )
+        lines.append(f"observed [{observed}]")
+    if test.asked is not None:
+        lines.append(f"exists ({_condition(test, addr_names)})")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,168 @@
+"""Mutable suite registry and suite-spec resolution for the CLI.
+
+:class:`SuiteRegistry` layers runtime registrations — parsed ``.litmus``
+files, generated suites, programmatically built tests — over the static
+catalogue, reusing :func:`repro.litmus.registry.register` so name
+collisions fail loudly everywhere.
+
+:func:`resolve_suite` turns the CLI's ``--suite`` argument into a test
+list.  Accepted specs::
+
+    paper | standard | all        the static catalogues
+    gen:edges=4[,size=50][,seed=7]  a generated suite (deterministic)
+    path/to/test.litmus           one parsed file
+    path/to/dir/                  every *.litmus file in a directory
+
+so ``repro matrix --suite gen:edges=4 --jobs 4`` pushes an unbounded,
+systematically generated test space through the PR-1 batch engine, and
+``repro matrix --suite ./mytests/`` does the same for external corpora.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Optional
+
+from .. import registry
+from ..test import LitmusTest
+from .gen import generate_suite
+from .parser import LitmusParseError, parse_litmus_file
+
+__all__ = ["SuiteRegistry", "resolve_suite", "parse_gen_spec", "STATIC_SUITES"]
+
+STATIC_SUITES = ("paper", "standard", "all")
+"""Suite names resolved against the static catalogue."""
+
+
+class SuiteRegistry:
+    """Named litmus suites layered over the static registry.
+
+    Tests added here are grouped into named suites (``"imported"``,
+    ``"generated"``, ...) and — unless ``attach=False`` — also pushed into
+    the global registry through its collision-checked :func:`register`
+    hook, so every name-based lookup (``repro show``, ``repro check``)
+    sees them for the rest of the process.
+    """
+
+    def __init__(self, attach: bool = True) -> None:
+        self._suites: dict[str, dict[str, LitmusTest]] = {}
+        self._attach = attach
+
+    def register(
+        self, test: LitmusTest, suite: str = "custom", replace: bool = False
+    ) -> str:
+        """Add one test to ``suite``; collisions raise ``ValueError``."""
+        if not replace and any(
+            test.name in tests for tests in self._suites.values()
+        ):
+            raise ValueError(
+                f"litmus test name collision: {test.name!r} is already "
+                "registered in this suite registry"
+            )
+        if self._attach:
+            registry.register(test, replace=replace)
+        self._suites.setdefault(suite, {})[test.name] = test
+        return test.name
+
+    def register_all(
+        self,
+        tests: Iterable[LitmusTest],
+        suite: str = "custom",
+        replace: bool = False,
+    ) -> list[str]:
+        """Register a batch of tests, returning their names."""
+        return [self.register(test, suite=suite, replace=replace) for test in tests]
+
+    def load_path(self, path: str, suite: str = "imported") -> list[str]:
+        """Register ``path`` — one ``.litmus`` file or a directory of them.
+
+        Returns the registered names.  Raises :class:`LitmusParseError`
+        for unparsable input and ``ValueError`` on name collisions.
+        """
+        return self.register_all(load_litmus_path(path), suite=suite)
+
+    def suites(self) -> tuple[str, ...]:
+        """The registered suite names, in registration order."""
+        return tuple(self._suites)
+
+    def names(self, suite: Optional[str] = None) -> tuple[str, ...]:
+        """Test names in one suite (or across all of them)."""
+        if suite is not None:
+            return tuple(self._suites.get(suite, {}))
+        return tuple(
+            name for tests in self._suites.values() for name in tests
+        )
+
+    def tests(self, suite: Optional[str] = None) -> list[LitmusTest]:
+        """The tests of one suite (or all of them), in registration order."""
+        if suite is not None:
+            return list(self._suites.get(suite, {}).values())
+        return [test for tests in self._suites.values() for test in tests.values()]
+
+    def get(self, name: str) -> LitmusTest:
+        """Look a test up by name, falling back to the static registry."""
+        for tests in self._suites.values():
+            if name in tests:
+                return tests[name]
+        return registry.get_test(name)
+
+
+def load_litmus_path(path: str) -> list[LitmusTest]:
+    """Parse ``path`` (a ``.litmus`` file or a directory of them)."""
+    if os.path.isdir(path):
+        entries = sorted(
+            entry for entry in os.listdir(path) if entry.endswith(".litmus")
+        )
+        if not entries:
+            raise LitmusParseError(f"no .litmus files in directory {path!r}")
+        return [
+            parse_litmus_file(os.path.join(path, entry)) for entry in entries
+        ]
+    return [parse_litmus_file(path)]
+
+
+def parse_gen_spec(spec: str) -> dict:
+    """Parse ``gen:key=value,...`` into :func:`generate_suite` kwargs.
+
+    Accepted keys: ``edges`` (cycle budget), ``size`` (suite cap), and
+    ``seed`` (pre-cap shuffle).  ``gen`` alone means the defaults.
+    """
+    body = spec[len("gen"):].lstrip(":")
+    kwargs: dict = {}
+    known = {"edges": "max_edges", "size": "size", "seed": "seed"}
+    for item in body.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        key, eq, value = item.partition("=")
+        if key not in known or not eq:
+            raise ValueError(
+                f"bad generator spec entry {item!r}; "
+                f"expected gen:edges=N[,size=M][,seed=S]"
+            )
+        try:
+            kwargs[known[key]] = int(value)
+        except ValueError:
+            raise ValueError(
+                f"generator spec value for {key!r} must be an integer, "
+                f"got {value!r}"
+            ) from None
+    return kwargs
+
+
+def resolve_suite(spec: str) -> list[LitmusTest]:
+    """Resolve a CLI ``--suite`` spec to a concrete test list."""
+    if spec == "paper":
+        return list(registry.paper_suite())
+    if spec == "standard":
+        return list(registry.standard_suite())
+    if spec == "all":
+        return list(registry.all_tests())
+    if spec == "gen" or spec.startswith("gen:"):
+        return generate_suite(**parse_gen_spec(spec))
+    if os.path.exists(spec):
+        return load_litmus_path(spec)
+    raise KeyError(
+        f"unknown suite {spec!r}; expected one of {', '.join(STATIC_SUITES)}, "
+        "a gen:... spec, or a .litmus file/directory path"
+    )

@@ -1,16 +1,97 @@
-"""Central registry of litmus tests, grouped into suites."""
+"""Central registry of litmus tests, grouped into suites.
+
+The static catalogue (paper figures + the classic suite) is merged with a
+collision check — two builders registering the same name is always a bug,
+never a silent overwrite — and :func:`register` lets frontends (the
+``.litmus`` importer, the cycle generator) add tests at runtime under the
+same rule.
+"""
 
 from __future__ import annotations
 
-from typing import Callable, Iterable
+from typing import Callable, Iterable, Mapping, Union
 
 from .paper_tests import PAPER_TESTS
 from .standard_tests import STANDARD_TESTS
 from .test import LitmusTest
 
-__all__ = ["all_tests", "get_test", "test_names", "paper_suite", "standard_suite"]
+__all__ = [
+    "all_tests",
+    "get_test",
+    "test_names",
+    "paper_suite",
+    "standard_suite",
+    "register",
+    "unregister",
+]
 
-_ALL: dict[str, Callable[[], LitmusTest]] = {**PAPER_TESTS, **STANDARD_TESTS}
+TestBuilder = Callable[[], LitmusTest]
+
+
+def _merged(*suites: Mapping[str, TestBuilder]) -> dict[str, TestBuilder]:
+    """Merge suite maps, raising on duplicate names instead of overwriting."""
+    merged: dict[str, TestBuilder] = {}
+    for suite in suites:
+        for name, builder in suite.items():
+            if name in merged:
+                raise ValueError(
+                    f"duplicate litmus test name {name!r}: "
+                    "two suites register the same test"
+                )
+            merged[name] = builder
+    return merged
+
+
+_ALL: dict[str, TestBuilder] = _merged(PAPER_TESTS, STANDARD_TESTS)
+
+
+def register(
+    test: Union[LitmusTest, TestBuilder],
+    *,
+    name: str = "",
+    replace: bool = False,
+) -> str:
+    """Register a test (or zero-argument builder) under its name.
+
+    This is the hook the litmus frontend uses: imported ``.litmus`` files
+    and generated suites flow through it so name collisions fail loudly.
+
+    Args:
+        test: a built :class:`LitmusTest` or a callable returning one.
+        name: registration name; defaults to the test's own name.
+        replace: allow overwriting an existing registration.
+
+    Returns:
+        the name the test was registered under.
+
+    Raises:
+        ValueError: on a name collision when ``replace`` is false.
+    """
+    if isinstance(test, LitmusTest):
+        built = test
+        builder: TestBuilder = lambda built=built: built
+    else:
+        builder = test
+        built = builder()
+        if not isinstance(built, LitmusTest):
+            raise TypeError(f"builder returned {type(built).__name__}, not a LitmusTest")
+    key = name or built.name
+    if not key:
+        raise ValueError("cannot register a litmus test with an empty name")
+    if key in _ALL and not replace:
+        raise ValueError(
+            f"litmus test name collision: {key!r} is already registered "
+            "(pass replace=True to overwrite)"
+        )
+    _ALL[key] = builder
+    return key
+
+
+def unregister(name: str) -> None:
+    """Remove a runtime registration (static suite entries included)."""
+    if name not in _ALL:
+        raise KeyError(f"unknown litmus test {name!r}")
+    del _ALL[name]
 
 
 def test_names() -> tuple[str, ...]:
@@ -29,7 +110,7 @@ def get_test(name: str) -> LitmusTest:
 
 
 def all_tests() -> Iterable[LitmusTest]:
-    """Yield every registered test (paper + standard suites)."""
+    """Yield every registered test (paper + standard + runtime suites)."""
     for builder in _ALL.values():
         yield builder()
 

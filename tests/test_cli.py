@@ -11,6 +11,21 @@ class TestList:
         out = capsys.readouterr().out
         assert "dekker" in out and "rnsw" in out
 
+    def test_list_tests_suite_filter(self, capsys):
+        assert main(["list", "tests", "--suite", "paper"]) == 0
+        out = capsys.readouterr().out
+        assert "dekker" in out and "iriw" not in out
+        assert main(["list", "tests", "--suite", "standard"]) == 0
+        out = capsys.readouterr().out
+        assert "iriw" in out and "rnsw" not in out
+
+    def test_list_tests_generated_suite(self, capsys):
+        assert main(["list", "tests", "--suite", "gen:edges=4,size=3"]) == 0
+        assert "Critical cycle" in capsys.readouterr().out
+
+    def test_list_tests_unknown_suite(self, capsys):
+        assert main(["list", "tests", "--suite", "nope"]) == 2
+
     def test_list_models(self, capsys):
         assert main(["list", "models"]) == 0
         out = capsys.readouterr().out
@@ -27,6 +42,16 @@ class TestShowAndCheck:
         assert main(["show", "dekker"]) == 0
         out = capsys.readouterr().out
         assert "St" in out and "Ld" in out and "asked" in out
+
+    def test_show_litmus_format(self, capsys):
+        assert main(["show", "dekker", "--format", "litmus"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("GAM dekker\n")
+        assert "exists (0:r1=0 /\\ 1:r2=0)" in out
+        from repro.litmus.frontend.parser import parse_litmus
+        from repro.litmus.registry import get_test
+
+        assert parse_litmus(out) == get_test("dekker")
 
     def test_check_allowed(self, capsys):
         assert main(["check", "dekker", "-m", "gam"]) == 0
@@ -98,6 +123,18 @@ class TestMatrixEquivSim:
         out = capsys.readouterr().out
         assert out.count("ok ") == 2
 
+    def test_matrix_generated_suite(self, capsys):
+        assert main(["matrix", "--suite", "gen:edges=4,size=4"]) == 0
+        out = capsys.readouterr().out
+        assert "gen:edges=4,size=4 suite" in out
+        assert "paper is silent on this suite" in out
+
+    def test_equiv_suite_flag(self, capsys):
+        assert main(
+            ["equiv", "--suite", "gen:edges=4,size=2", "--pairs", "gam"]
+        ) == 0
+        assert capsys.readouterr().out.count("ok ") == 2
+
     def test_sim_small(self, capsys):
         assert main(["sim", "--workloads", "namd", "--length", "800"]) == 0
         out = capsys.readouterr().out
@@ -106,3 +143,86 @@ class TestMatrixEquivSim:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestGenImportExport:
+    @pytest.fixture(autouse=True)
+    def _restore_registry(self):
+        """Undo the global registrations ``repro gen`` makes in-process."""
+        from repro.litmus import registry
+
+        before = set(registry.test_names())
+        yield
+        for name in set(registry.test_names()) - before:
+            registry.unregister(name)
+
+    def test_gen_summary(self, capsys):
+        assert main(["gen", "--edges", "4", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        count = int(out.split("generated ")[1].split()[0])
+        assert count >= 50
+
+    def test_gen_is_idempotent_in_process(self, capsys):
+        assert main(["gen", "--edges", "4", "--size", "1", "--quiet"]) == 0
+        assert main(["gen", "--edges", "4", "--size", "1", "--quiet"]) == 0
+        capsys.readouterr()
+
+    def test_gen_registers_tests_in_process(self, capsys):
+        assert main(["gen", "--edges", "4", "--size", "1", "--quiet"]) == 0
+        capsys.readouterr()
+        from repro.litmus.frontend.gen import generate_suite
+
+        name = generate_suite(4, size=1)[0].name
+        assert main(["show", name, "--format", "litmus"]) == 0
+        assert f"GAM {name}" in capsys.readouterr().out
+
+    def test_gen_writes_files(self, capsys, tmp_path):
+        out_dir = tmp_path / "generated"
+        assert main(
+            ["gen", "--edges", "4", "--size", "3", "--seed", "1",
+             "--quiet", "-o", str(out_dir)]
+        ) == 0
+        files = sorted(p.name for p in out_dir.glob("*.litmus"))
+        assert len(files) == 3
+
+    def test_export_import_round_trip(self, capsys, tmp_path):
+        out_dir = tmp_path / "suite"
+        assert main(["export", "--suite", "paper", "-o", str(out_dir)]) == 0
+        capsys.readouterr()
+        files = sorted(str(p) for p in out_dir.glob("*.litmus"))
+        assert len(files) == 12
+        assert main(["import", *files]) == 0
+        out = capsys.readouterr().out
+        assert "12 test(s) imported" in out and "imported dekker" in out
+
+    def test_export_stdout(self, capsys):
+        assert main(["export", "--suite", "paper"]) == 0
+        out = capsys.readouterr().out
+        headers = [l for l in out.splitlines() if l.startswith("GAM ")]
+        assert len(headers) == 12
+
+    def test_matrix_from_exported_directory(self, capsys, tmp_path):
+        out_dir = tmp_path / "suite"
+        assert main(["export", "--suite", "paper", "-o", str(out_dir)]) == 0
+        capsys.readouterr()
+        assert main(["matrix", "--suite", str(out_dir)]) == 0
+        assert "all verdicts agree with the paper" in capsys.readouterr().out
+
+    def test_import_parse_error(self, capsys, tmp_path):
+        bad = tmp_path / "bad.litmus"
+        bad.write_text("GAM broken\n{ a; }\n P0 ;\n Wat ;\n")
+        assert main(["import", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "line 4" in err
+
+    def test_import_duplicate_names(self, capsys, tmp_path):
+        from repro.litmus.frontend.printer import print_litmus
+        from repro.litmus.registry import get_test
+
+        text = print_litmus(get_test("mp"))
+        one = tmp_path / "one.litmus"
+        two = tmp_path / "two.litmus"
+        one.write_text(text)
+        two.write_text(text)
+        assert main(["import", str(one), str(two)]) == 2
+        assert "collision" in capsys.readouterr().err
