@@ -14,10 +14,17 @@ The package implements GAM (the General Atomic Memory Model) end to end:
   matrix, strength lattice and equivalence suites: per-test candidate
   prefixes shared across the model zoo, optional multiprocessing fan-out
   (``--jobs``) and an on-disk result cache (``--cache``);
+* :mod:`repro.campaign` — sharded, resumable differential model-hunt
+  campaigns (``repro hunt``): mass verdict evaluation over generated
+  suites, discrepancy mining between model pairs, and greedy witness
+  minimization down to re-verified ``.litmus`` files;
 * :mod:`repro.sim` + :mod:`repro.workloads` — the out-of-order timing
   simulator and SPEC-like synthetic workloads behind the paper's
   performance evaluation (Figure 18, Tables II-III);
-* :mod:`repro.eval` — harnesses that regenerate each table and figure.
+* :mod:`repro.eval` — harnesses that regenerate each table and figure,
+  plus differential analyses over their matrices.
+
+See ``docs/architecture.md`` for the narrative map of these layers.
 
 Quickstart::
 

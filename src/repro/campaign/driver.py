@@ -1,0 +1,396 @@
+"""The hunt driver: sharded differential evaluation → mining → witnesses.
+
+:func:`run_hunt` is the long-running orchestrator behind ``repro hunt``.
+One call advances a campaign as far as it can and is always safe to
+interrupt and re-invoke:
+
+1. **Shard evaluation** — the suite spec is resolved (deterministically)
+   and split into round-robin shards; each incomplete shard's
+   (test × model) verdict grid runs through the batch engine with the
+   campaign's own result cache, then lands on disk as an atomic shard
+   record.  Completed shards are never re-evaluated.
+2. **Mining** — the accumulated records are pivoted into a verdict table
+   (in suite order, independent of which run produced which shard) and
+   every model-pair disagreement becomes a
+   :class:`~repro.eval.discrepancy.Discrepancy`.
+3. **Minimization** — each discrepant test is greedily shrunk while the
+   pair still disagrees (:mod:`.minimize`), written to
+   ``witnesses/*.litmus``, re-parsed, and re-checked through the standard
+   matrix path (:func:`repro.eval.litmus_matrix.litmus_matrix`) so every
+   reported witness is *known* to still diverge as a ``.litmus`` file.
+4. **Report** — the ranked report (smallest witness first) is written as
+   ``report.txt`` + ``report.json`` and returned.
+
+Every stage is a deterministic function of the campaign spec, so a
+killed-and-rerun campaign reaches byte-identical final reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Optional, Sequence
+
+from ..engine import VerdictSpec, evaluate_cells
+from ..eval.discrepancy import (
+    Discrepancy,
+    mine_discrepancies,
+    render_discrepancies,
+)
+from ..eval.litmus_matrix import litmus_matrix
+from ..litmus.frontend.printer import print_litmus
+from ..litmus.frontend.parser import LitmusParseError, parse_litmus_file
+from ..litmus.frontend.suite import resolve_suite, shard_suite
+from ..litmus.test import LitmusTest
+from .minimize import (
+    divergence_check,
+    instruction_count,
+    minimize_divergence,
+)
+from .state import CampaignDir, CampaignError, CampaignSpec, suite_digest
+
+__all__ = ["WitnessRecord", "HuntReport", "run_hunt", "DEFAULT_PAIRS"]
+
+DEFAULT_PAIRS: tuple[tuple[str, str], ...] = (("wmm", "arm"),)
+"""The pair a fresh campaign hunts when none is given: the paper's
+central WMM-vs-ARM positioning claim."""
+
+_DEFAULT_SHARDS = 4
+
+
+@dataclass(frozen=True)
+class WitnessRecord:
+    """One minimized, re-verified witness of a discrepancy.
+
+    Attributes:
+        discrepancy: the (test, pair) disagreement this witnesses.
+        path: the written ``.litmus`` file.
+        relpath: the same file relative to the campaign root (used in the
+            report, so reports of identical hunts are byte-identical no
+            matter where their campaign directories live).
+        original_instrs / minimized_instrs: shrink achieved.
+        checks: divergence re-checks the minimizer spent.
+    """
+
+    discrepancy: Discrepancy
+    path: str
+    relpath: str
+    original_instrs: int
+    minimized_instrs: int
+    checks: int
+
+
+@dataclass(frozen=True)
+class HuntReport:
+    """The result of one (possibly resumed) campaign run.
+
+    Attributes:
+        spec: the campaign's identity.
+        tests_evaluated: suite tests with an asked outcome.
+        discrepancies: every mined (test, pair) disagreement.
+        witnesses: one record per discrepancy, ranking order.
+        text: the rendered report (also written to ``report.txt``).
+    """
+
+    spec: CampaignSpec
+    tests_evaluated: int
+    discrepancies: tuple[Discrepancy, ...]
+    witnesses: tuple[WitnessRecord, ...]
+    text: str
+
+    @property
+    def witness_paths(self) -> tuple[str, ...]:
+        """The written ``.litmus`` files, in ranking order."""
+        return tuple(record.path for record in self.witnesses)
+
+
+def _witness_stem(disc: Discrepancy) -> str:
+    """Deterministic file/test name for a discrepancy's witness."""
+    return f"{disc.test_name}__{disc.pair[0]}-vs-{disc.pair[1]}"
+
+
+def _evaluate_shards(
+    campaign: CampaignDir,
+    spec: CampaignSpec,
+    tests: Sequence[LitmusTest],
+    jobs: int,
+    log: Callable[[str], None],
+) -> None:
+    """Run every incomplete shard's verdict grid and persist its record."""
+    models = spec.model_names
+    for index in range(spec.num_shards):
+        if campaign.load_shard(index) is not None:
+            log(f"shard {index + 1}/{spec.num_shards}: already complete")
+            continue
+        shard_tests = shard_suite(tests, index, spec.num_shards)
+        log(
+            f"shard {index + 1}/{spec.num_shards}: evaluating "
+            f"{len(shard_tests)} tests x {len(models)} models"
+        )
+        cells = [
+            VerdictSpec(test, model) for test in shard_tests for model in models
+        ]
+        done = {"count": 0}
+
+        def on_batch(test: LitmusTest, results: Sequence[object]) -> None:
+            done["count"] += 1
+            log(
+                f"  [{done['count']}/{len(shard_tests)}] {test.name}: "
+                + " ".join(
+                    f"{model}={'allow' if allowed else 'forbid'}"
+                    for model, allowed in zip(models, results)
+                )
+            )
+
+        results = evaluate_cells(
+            cells, jobs=jobs, cache_dir=campaign.cache_dir, on_batch=on_batch
+        )
+        entries = []
+        for position, test in enumerate(shard_tests):
+            verdicts = {
+                model: bool(results[position * len(models) + offset])
+                for offset, model in enumerate(models)
+            }
+            entries.append(
+                {
+                    "name": test.name,
+                    "instrs": instruction_count(test),
+                    "verdicts": verdicts,
+                }
+            )
+        campaign.write_shard(
+            index,
+            {
+                "shard": index,
+                "num_shards": spec.num_shards,
+                "tests": entries,
+                "complete": True,
+            },
+        )
+
+
+def _verdict_table(
+    campaign: CampaignDir,
+    spec: CampaignSpec,
+    tests: Sequence[LitmusTest],
+) -> dict[str, dict[str, bool]]:
+    """Pivot the accumulated shard records into suite order.
+
+    Suite order (not shard-completion order) keys the table, so mining is
+    independent of *which run* produced each shard.
+    """
+    by_name: dict[str, dict[str, bool]] = {}
+    for index in range(spec.num_shards):
+        record = campaign.load_shard(index)
+        if record is None:  # unreachable after _evaluate_shards
+            raise CampaignError(f"shard {index} is missing its record")
+        for entry in record["tests"]:
+            by_name[entry["name"]] = entry["verdicts"]
+    return {test.name: by_name[test.name] for test in tests}
+
+
+def _minimize_and_write(
+    campaign: CampaignDir,
+    discrepancies: Sequence[Discrepancy],
+    tests_by_name: dict[str, LitmusTest],
+    log: Callable[[str], None],
+) -> list[WitnessRecord]:
+    """Minimize each discrepancy, write its witness, re-verify it."""
+    records: list[WitnessRecord] = []
+    for disc in discrepancies:
+        # Cheap per-discrepancy closure; the engine cache underneath
+        # dedupes the actual verdict work across discrepancies.
+        check = divergence_check(disc.pair, cache_dir=campaign.cache_dir)
+        result = minimize_divergence(tests_by_name[disc.test_name], check)
+        stem = _witness_stem(disc)
+        witness = replace(
+            result.test,
+            name=stem,
+            source="hunt minimizer",
+            description=(
+                f"Minimized {disc.pair[0]}/{disc.pair[1]} divergence "
+                f"of {disc.test_name}."
+            ),
+        )
+        path = campaign.witness_dir / f"{stem}.litmus"
+        path.write_text(print_litmus(witness), encoding="utf-8")
+        # Re-check the *file* through the standard matrix path: the
+        # reported witness diverges as .litmus text, not just in memory.
+        reparsed = parse_litmus_file(str(path))
+        cells = litmus_matrix(
+            tests=[reparsed],
+            model_names=list(disc.pair),
+            cache_dir=campaign.cache_dir,
+        )
+        verdicts = {cell.model_name: cell.allowed for cell in cells}
+        if verdicts[disc.pair[0]] == verdicts[disc.pair[1]]:
+            raise CampaignError(
+                f"witness {stem!r} lost its divergence in the .litmus round "
+                "trip — this is a bug in the minimizer or printer"
+            )
+        log(
+            f"minimized {disc.describe()} — "
+            f"{result.original_instrs} -> {result.minimized_instrs} instrs "
+            f"({result.checks} checks)"
+        )
+        records.append(
+            WitnessRecord(
+                discrepancy=disc,
+                path=str(path),
+                relpath=str(path.relative_to(campaign.root)),
+                original_instrs=result.original_instrs,
+                minimized_instrs=result.minimized_instrs,
+                checks=result.checks,
+            )
+        )
+    return records
+
+
+def _render_report(
+    spec: CampaignSpec,
+    tests_evaluated: int,
+    discrepancies: Sequence[Discrepancy],
+    witnesses: Sequence[WitnessRecord],
+) -> str:
+    """The human-readable hunt report, smallest witness first."""
+    pairs = " ".join(":".join(pair) for pair in spec.pairs)
+    header = (
+        f"Hunt report — suite {spec.suite!r}, pairs {pairs}, "
+        f"{spec.num_shards} shards, {tests_evaluated} tests"
+    )
+    sizes = {
+        (record.discrepancy.test_name, record.discrepancy.pair):
+            record.minimized_instrs
+        for record in witnesses
+    }
+    table = render_discrepancies(
+        discrepancies, sizes=sizes, title="Discrepancies (ranked by witness size)"
+    )
+    lines = [header, "", table]
+    if witnesses:
+        lines.append("")
+        lines.append("witnesses (minimized, re-verified .litmus):")
+        for record in sorted(
+            witnesses, key=lambda r: (r.minimized_instrs, r.relpath)
+        ):
+            lines.append(
+                f"  {record.relpath}  "
+                f"{record.original_instrs} -> {record.minimized_instrs} instrs"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def run_hunt(
+    out: str,
+    suite: Optional[str] = None,
+    pairs: Optional[Sequence[tuple[str, str]]] = None,
+    num_shards: Optional[int] = None,
+    jobs: int = 1,
+    resume: bool = False,
+    log: Optional[Callable[[str], None]] = None,
+) -> HuntReport:
+    """Run (or resume) a differential model-hunt campaign in ``out``.
+
+    Args:
+        out: the campaign directory (created if missing).  An existing
+            campaign resumes automatically when the requested spec matches
+            the stored one, and is refused otherwise.
+        suite: any ``--suite`` spec (``gen:...``, static names,
+            ``.litmus`` paths).  Optional when resuming: the stored spec
+            supplies it.
+        pairs: ``(weaker, stronger)`` model-name pairs to differentiate;
+            defaults to :data:`DEFAULT_PAIRS` for a fresh campaign.
+        num_shards: deterministic suite chunks (default 4 when fresh).
+        jobs: worker processes per shard's engine run.
+        resume: require existing state (a guard against typo'd ``--out``
+            silently starting a fresh hunt).
+        log: progress sink (e.g. ``print``); ``None`` is silent.
+
+    Returns:
+        the :class:`HuntReport`; identical for identical specs no matter
+        how many interrupted runs it took to get there.
+    """
+    log = log or (lambda message: None)
+    campaign = CampaignDir(out)
+    stored = campaign.load_spec()
+    if stored is None:
+        if resume:
+            raise CampaignError(f"nothing to resume: {out} has no campaign.json")
+        if suite is None:
+            raise CampaignError("a new campaign needs a --suite spec")
+        if num_shards is not None and num_shards < 1:
+            raise CampaignError(f"--shards must be >= 1, got {num_shards}")
+        suite_spec = suite
+        requested_pairs = tuple(pairs) if pairs else DEFAULT_PAIRS
+        shards = num_shards if num_shards is not None else _DEFAULT_SHARDS
+    else:
+        suite_spec = suite if suite is not None else stored.suite
+        requested_pairs = tuple(pairs) if pairs else stored.pairs
+        shards = num_shards if num_shards is not None else stored.num_shards
+
+    # Resolve (and thereby validate) the suite *before* any state is
+    # written: a typo'd spec must not poison the campaign directory, and
+    # the resolved content digest is part of the campaign's identity.
+    # Spec-shaped mistakes become CampaignError (a usage error at the
+    # CLI); parse errors and unknown names keep their own types.
+    try:
+        resolved = resolve_suite(suite_spec)
+    except LitmusParseError:
+        raise  # reported with its file/line context
+    except ValueError as exc:
+        raise CampaignError(str(exc)) from exc
+    tests = [test for test in resolved if test.asked is not None]
+    spec = CampaignSpec(
+        suite=suite_spec,
+        pairs=requested_pairs,
+        num_shards=shards,
+        suite_digest=suite_digest(tests),
+    )
+    if stored is None:
+        campaign.write_spec(spec)
+        log(f"new campaign at {out}: {spec.suite!r}, shards={spec.num_shards}")
+    else:
+        campaign.check_spec(spec)  # raises on any mismatch, incl. content
+        done = len(campaign.completed_shards(spec.num_shards))
+        log(
+            f"resuming campaign at {out}: "
+            f"{done}/{spec.num_shards} shards complete"
+        )
+
+    _evaluate_shards(campaign, spec, tests, jobs, log)
+
+    table = _verdict_table(campaign, spec, tests)
+    discrepancies = mine_discrepancies(table, spec.pairs)
+    log(f"mined {len(discrepancies)} discrepancies over {len(tests)} tests")
+
+    tests_by_name = {test.name: test for test in tests}
+    witnesses = _minimize_and_write(campaign, discrepancies, tests_by_name, log)
+
+    text = _render_report(spec, len(tests), discrepancies, witnesses)
+    campaign.write_report(
+        text,
+        {
+            "campaign": spec.to_json(),
+            "tests_evaluated": len(tests),
+            "discrepancies": [
+                {
+                    "test": record.discrepancy.test_name,
+                    "pair": list(record.discrepancy.pair),
+                    "verdicts": {
+                        record.discrepancy.pair[0]: record.discrepancy.allowed_a,
+                        record.discrepancy.pair[1]: record.discrepancy.allowed_b,
+                    },
+                    "witness": record.relpath,
+                    "original_instrs": record.original_instrs,
+                    "minimized_instrs": record.minimized_instrs,
+                }
+                for record in witnesses
+            ],
+        },
+    )
+    return HuntReport(
+        spec=spec,
+        tests_evaluated=len(tests),
+        discrepancies=tuple(discrepancies),
+        witnesses=tuple(witnesses),
+        text=text,
+    )

@@ -1,0 +1,261 @@
+"""Persistent, resumable campaign state: one directory per hunt.
+
+A campaign directory is the on-disk identity of a hunt.  Layout::
+
+    <out>/
+        campaign.json        the spec: suite, pairs, shard count, engine
+                             version, model content digests
+        cache/               the engine's content-hashed ResultCache
+                             (fine-grained resume: interrupted shards
+                             lose at most one in-flight cell)
+        shards/shard-NNNN.json   one verdict record per completed shard
+                             (coarse-grained resume: completed shards
+                             are never re-evaluated)
+        witnesses/*.litmus   minimized diverging tests
+        report.txt / report.json   the ranked hunt report
+
+Every JSON file is written through a temp file and an atomic rename, so a
+killed run can never leave a torn record: on restart a shard file either
+exists complete or not at all, and the spec check refuses to mix state
+from a different suite, pair set, shard count, engine version or model
+zoo into an existing directory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..engine import ENGINE_VERSION
+from ..engine.cells import model_descriptor
+
+__all__ = [
+    "CampaignError",
+    "CampaignSpec",
+    "CampaignDir",
+    "model_digest",
+    "suite_digest",
+]
+
+CAMPAIGN_VERSION = 1
+"""On-disk campaign layout version; bumped on incompatible changes."""
+
+
+class CampaignError(RuntimeError):
+    """A campaign directory cannot be (re)used as requested."""
+
+
+def model_digest(model_name: str) -> str:
+    """Content digest of a registry model (clauses + axioms), for staleness
+    detection: a model edited between runs invalidates recorded verdicts."""
+    descriptor = json.dumps(
+        model_descriptor(model_name), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(descriptor.encode("utf-8")).hexdigest()
+
+
+def suite_digest(tests) -> str:
+    """Content digest of a resolved suite (ordered test descriptors).
+
+    A ``gen:`` spec's meaning is a function of the generator's code, and
+    a ``.litmus`` path's meaning is a function of the files on disk —
+    both can drift between runs of a long campaign.  Digesting the
+    resolved tests lets :meth:`CampaignDir.check_spec` refuse a resume
+    whose shard records describe tests the spec no longer produces.
+    """
+    from ..engine.cells import test_descriptor  # cycle-free import
+
+    payload = json.dumps(
+        [test_descriptor(test) for test in tests],
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """The immutable identity of one hunt campaign.
+
+    Attributes:
+        suite: the ``--suite`` spec the shards are generated from.
+        pairs: the differentiated model pairs, in CLI order.
+        num_shards: how many deterministic chunks the suite is split into.
+        suite_digest: content digest of the *resolved* suite (see
+            :func:`suite_digest`); ``""`` means unchecked.
+        engine_version / campaign_version: staleness guards.
+        model_digests: content digest per model named by ``pairs``.
+    """
+
+    suite: str
+    pairs: tuple[tuple[str, str], ...]
+    num_shards: int
+    suite_digest: str = ""
+    engine_version: int = ENGINE_VERSION
+    campaign_version: int = CAMPAIGN_VERSION
+
+    @property
+    def model_names(self) -> tuple[str, ...]:
+        """Every model the pairs mention, deduplicated in first-seen order."""
+        names: list[str] = []
+        for a, b in self.pairs:
+            for name in (a, b):
+                if name not in names:
+                    names.append(name)
+        return tuple(names)
+
+    def to_json(self) -> dict:
+        """The ``campaign.json`` payload (includes model digests)."""
+        return {
+            "campaign_version": self.campaign_version,
+            "engine_version": self.engine_version,
+            "suite": self.suite,
+            "suite_digest": self.suite_digest,
+            "pairs": [list(pair) for pair in self.pairs],
+            "num_shards": self.num_shards,
+            "model_digests": {
+                name: model_digest(name) for name in self.model_names
+            },
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "CampaignSpec":
+        """Rebuild a spec from a ``campaign.json`` payload."""
+        return cls(
+            suite=payload["suite"],
+            pairs=tuple((a, b) for a, b in payload["pairs"]),
+            num_shards=int(payload["num_shards"]),
+            suite_digest=payload.get("suite_digest", ""),
+            engine_version=int(payload["engine_version"]),
+            campaign_version=int(payload["campaign_version"]),
+        )
+
+
+def _write_text_atomic(path: pathlib.Path, text: str) -> None:
+    """Write text through a temp file + rename (never a torn record)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def _write_json_atomic(path: pathlib.Path, payload: dict) -> None:
+    """Write JSON through a temp file + rename (never a torn record)."""
+    _write_text_atomic(path, json.dumps(payload, sort_keys=True, indent=2))
+
+
+class CampaignDir:
+    """Filesystem accessor for one campaign directory.
+
+    Construction is side-effect free — nothing is created on disk until
+    :meth:`ensure_layout` or one of the writers runs, so probing a
+    directory (e.g. a typo'd ``--resume`` target) leaves no litter.
+    """
+
+    def __init__(self, root: os.PathLike | str) -> None:
+        self.root = pathlib.Path(root)
+
+    def ensure_layout(self) -> None:
+        """Create the campaign directory tree (idempotent)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        (self.root / "shards").mkdir(exist_ok=True)
+        (self.root / "witnesses").mkdir(exist_ok=True)
+
+    @property
+    def spec_path(self) -> pathlib.Path:
+        """Path of ``campaign.json``."""
+        return self.root / "campaign.json"
+
+    @property
+    def cache_dir(self) -> str:
+        """The engine result-cache directory (created on first use)."""
+        return str(self.root / "cache")
+
+    @property
+    def witness_dir(self) -> pathlib.Path:
+        """Directory the minimized ``.litmus`` witnesses are written to."""
+        return self.root / "witnesses"
+
+    def shard_path(self, index: int) -> pathlib.Path:
+        """Path of shard ``index``'s verdict record."""
+        return self.root / "shards" / f"shard-{index:04d}.json"
+
+    def load_spec(self) -> Optional[CampaignSpec]:
+        """The stored spec, or ``None`` for a fresh directory.
+
+        Raises :class:`CampaignError` when ``campaign.json`` exists but is
+        unreadable (a directory that is *something else* should never be
+        silently overwritten).
+        """
+        try:
+            payload = json.loads(self.spec_path.read_text())
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError) as exc:
+            raise CampaignError(
+                f"unreadable campaign state {self.spec_path}: {exc}"
+            ) from exc
+        return CampaignSpec.from_json(payload)
+
+    def check_spec(self, spec: CampaignSpec) -> None:
+        """Refuse to mix ``spec`` into a directory holding different state.
+
+        Compares the full stored payload — including model digests — so a
+        campaign never resumes across a changed suite, pair set, shard
+        count, engine version or model semantics.
+        """
+        stored = self.load_spec()
+        if stored is None:
+            return
+        stored_payload = json.loads(self.spec_path.read_text())
+        if stored_payload != spec.to_json():
+            raise CampaignError(
+                f"campaign at {self.root} was started with a different spec "
+                f"(stored: suite={stored.suite!r} "
+                f"pairs={[':'.join(p) for p in stored.pairs]} "
+                f"shards={stored.num_shards}) — the suite, pairs, shard "
+                "count, engine version, or model/suite content changed; "
+                "use a fresh --out directory"
+            )
+
+    def write_spec(self, spec: CampaignSpec) -> None:
+        """Persist the spec (atomic; must happen before any shard work)."""
+        self.check_spec(spec)
+        self.ensure_layout()
+        _write_json_atomic(self.spec_path, spec.to_json())
+
+    def load_shard(self, index: int) -> Optional[dict]:
+        """Shard ``index``'s record, or ``None`` if not completed yet."""
+        try:
+            payload = json.loads(self.shard_path(index).read_text())
+        except (OSError, ValueError):
+            return None
+        if not payload.get("complete"):
+            return None
+        return payload
+
+    def write_shard(self, index: int, record: dict) -> None:
+        """Persist one completed shard record (atomic)."""
+        _write_json_atomic(self.shard_path(index), record)
+
+    def completed_shards(self, num_shards: int) -> list[int]:
+        """Indices of shards whose records are already on disk."""
+        return [i for i in range(num_shards) if self.load_shard(i) is not None]
+
+    def write_report(self, text: str, data: dict) -> None:
+        """Persist the final hunt report (text + machine-readable JSON)."""
+        _write_json_atomic(self.root / "report.json", data)
+        _write_text_atomic(self.root / "report.txt", text)

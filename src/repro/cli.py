@@ -11,6 +11,9 @@ Commands:
 * ``matrix [--suite SUITE] [--jobs N] [--cache DIR]`` — the verdict matrix;
 * ``equiv [TEST ...] [--suite SUITE] [--jobs N] [--cache DIR]`` —
   axiomatic-vs-operational agreement;
+* ``hunt --out DIR [--suite SUITE] [--pair A:B ...] [--shards N]`` — a
+  sharded, resumable differential model-hunt campaign with minimized
+  ``.litmus`` witnesses (see :mod:`repro.campaign`);
 * ``synth TEST [-m MODEL]`` — minimal fences restoring SC;
 * ``strength [--suite SUITE] [--jobs N] [--cache DIR]`` — the measured
   model-strength lattice;
@@ -177,6 +180,50 @@ def build_parser() -> argparse.ArgumentParser:
     synth.add_argument("-m", "--model", default="gam", help="weak model name")
     synth.add_argument(
         "--max-fences", type=int, default=3, help="search bound on fence count"
+    )
+
+    hunt = sub.add_parser(
+        "hunt", help="differential model-hunt campaign (sharded, resumable)"
+    )
+    hunt.add_argument(
+        "--suite",
+        default=None,
+        metavar="SUITE",
+        help=f"suite to hunt over ({suite_help}); optional when resuming",
+    )
+    hunt.add_argument(
+        "--pair",
+        action="append",
+        default=None,
+        metavar="A:B",
+        help="model pair to differentiate, e.g. wmm:arm "
+        "(repeatable; default: wmm:arm)",
+    )
+    hunt.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="split the suite into N deterministic shards (default: 4)",
+    )
+    hunt.add_argument(
+        "--out",
+        required=True,
+        metavar="DIR",
+        help="campaign directory (state, cache, witnesses, report)",
+    )
+    hunt.add_argument(
+        "--resume",
+        action="store_true",
+        help="require existing campaign state in --out "
+        "(an existing matching campaign also resumes without this flag)",
+    )
+    hunt.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes per shard (default: 1, serial)",
     )
 
     strength = sub.add_parser(
@@ -440,6 +487,32 @@ def _cmd_synth(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_hunt(args: argparse.Namespace) -> int:
+    from .campaign import run_hunt
+    from .eval.discrepancy import parse_pair
+
+    pairs = None
+    if args.pair:
+        try:
+            pairs = [parse_pair(spec) for spec in args.pair]
+        except ValueError as exc:
+            raise CLIUsageError(str(exc)) from exc
+    # Bad suite specs surface as CampaignError from run_hunt's resolution
+    # step (handled in main); a ValueError here would be a real bug.
+    report = run_hunt(
+        out=args.out,
+        suite=args.suite,
+        pairs=pairs,
+        num_shards=args.shards,
+        jobs=args.jobs,
+        resume=args.resume,
+        log=print,
+    )
+    print()
+    print(report.text, end="")
+    return 0
+
+
 def _cmd_strength(args: argparse.Namespace) -> int:
     from .eval.strength import render_strength, strength_matrix
 
@@ -568,6 +641,7 @@ _COMMANDS = {
     "diff": _cmd_diff,
     "matrix": _cmd_matrix,
     "equiv": _cmd_equiv,
+    "hunt": _cmd_hunt,
     "synth": _cmd_synth,
     "strength": _cmd_strength,
     "gen": _cmd_gen,
@@ -581,6 +655,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns the process exit status."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    from .campaign.state import CampaignError
     from .core.axiomatic import DomainOverflowError
     from .engine import EngineWorkerError
     from .litmus.frontend.parser import LitmusParseError
@@ -592,6 +667,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
     except (
+        CampaignError,
         DomainOverflowError,
         EngineWorkerError,
         LitmusParseError,

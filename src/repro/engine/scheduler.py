@@ -19,7 +19,7 @@ never a bare pool traceback.
 from __future__ import annotations
 
 import multiprocessing
-from typing import Iterable, Optional, Sequence
+from typing import Callable, Iterable, Optional, Sequence
 
 from ..core.axiomatic import CandidatePrefix, DomainOverflowError
 from ..litmus.test import LitmusTest
@@ -109,6 +109,7 @@ def evaluate_cells(
     cells: Sequence[CellSpec],
     jobs: int = 1,
     cache_dir: Optional[str] = None,
+    on_batch: Optional[Callable[[LitmusTest, Sequence[CellResult]], None]] = None,
 ) -> list[CellResult]:
     """Evaluate a cell grid; results are ordered exactly like ``cells``.
 
@@ -117,6 +118,14 @@ def evaluate_cells(
     fans per-test batches out over a ``multiprocessing`` pool.  With
     ``cache_dir`` set, results are served from / persisted to the on-disk
     :class:`~repro.engine.cache.ResultCache`.
+
+    ``on_batch`` is the streaming hook long-running drivers (the campaign
+    runner, progress reporting) plug into: it is called once per per-test
+    batch, in deterministic first-seen test order, with the test and its
+    cell results — in pooled mode as soon as each batch completes, so a
+    caller can checkpoint or log without waiting for the whole grid.
+    Failed batches never reach the hook; they surface as exceptions from
+    this function once their turn comes.
     """
     cells = list(cells)
     if not cells:
@@ -135,12 +144,21 @@ def evaluate_cells(
         tagged = []
         for test, batch, cdir in payloads:
             try:
-                tagged.append(("ok", _evaluate_batch(test, batch, cdir)))
+                outcome = ("ok", _evaluate_batch(test, batch, cdir))
             except DomainOverflowError as exc:
                 raise DomainOverflowError(f"test {test.name!r}: {exc}") from exc
+            tagged.append(outcome)
+            if on_batch is not None:
+                on_batch(test, outcome[1])
     else:
         with multiprocessing.Pool(processes=min(jobs, len(payloads))) as pool:
-            tagged = pool.map(_run_batch, payloads)
+            # imap (not map): same deterministic order, but batches stream
+            # back as they finish so the on_batch hook fires incrementally.
+            tagged = []
+            for payload, outcome in zip(payloads, pool.imap(_run_batch, payloads)):
+                tagged.append(outcome)
+                if on_batch is not None and outcome[0] == "ok":
+                    on_batch(payload[0], outcome[1])
     results: list[Optional[CellResult]] = [None] * len(cells)
     for (test, indices), outcome in zip(groups, tagged):
         if outcome[0] == "domain-overflow":

@@ -1,5 +1,13 @@
-"""Experiment harnesses: one module per table/figure of the paper."""
+"""Experiment harnesses: one module per table/figure of the paper,
+plus differential analyses over their matrices (:mod:`.discrepancy`)."""
 
+from .discrepancy import (
+    Discrepancy,
+    mine_discrepancies,
+    parse_pair,
+    render_discrepancies,
+    verdict_table,
+)
 from .figure18 import Figure18Result, Figure18Row, render_figure18, run_figure18
 from .litmus_matrix import (
     VerdictCell,
@@ -32,4 +40,9 @@ __all__ = [
     "strength_matrix",
     "render_strength",
     "StrengthMatrix",
+    "Discrepancy",
+    "mine_discrepancies",
+    "parse_pair",
+    "render_discrepancies",
+    "verdict_table",
 ]

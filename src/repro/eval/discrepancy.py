@@ -1,0 +1,157 @@
+"""Discrepancy mining: where do two models disagree over a suite?
+
+The paper's positioning argument — WMM/WMM-S sit between SC/TSO and
+ARM/Alpha — is an argument about *differences*: behaviours one model
+allows and another forbids.  This module mines those differences out of
+accumulated verdict matrices (the per-test ``model -> allowed`` maps the
+campaign runner and :func:`repro.eval.litmus_matrix.litmus_matrix` both
+produce) for a chosen set of model *pairs*, in the tradition of Herding
+Cats' mass differential litmus runs.
+
+A :class:`Discrepancy` records one (test, pair) disagreement; mining is a
+pure function of the verdict table, so it can be re-run over a campaign's
+accumulated shards at any time — including after an interrupt — and
+always yields the same, deterministically ordered list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Optional, Sequence
+
+from .litmus_matrix import VerdictCell
+from .render import render_table
+
+__all__ = [
+    "Discrepancy",
+    "parse_pair",
+    "verdict_table",
+    "mine_discrepancies",
+    "render_discrepancies",
+]
+
+
+@dataclass(frozen=True)
+class Discrepancy:
+    """One (test, model-pair) disagreement.
+
+    Attributes:
+        test_name: the diverging test.
+        pair: the ``(a, b)`` model names, as given to the miner.
+        allowed_a / allowed_b: the two verdicts (always unequal).
+    """
+
+    test_name: str
+    pair: tuple[str, str]
+    allowed_a: bool
+    allowed_b: bool
+
+    @property
+    def splitter(self) -> str:
+        """The model that *allows* the behaviour (the weaker side here)."""
+        return self.pair[0] if self.allowed_a else self.pair[1]
+
+    def describe(self) -> str:
+        """One-line human-readable summary of the disagreement."""
+        a, b = self.pair
+        va = "allows" if self.allowed_a else "forbids"
+        vb = "allows" if self.allowed_b else "forbids"
+        return f"{self.test_name}: {a} {va}, {b} {vb}"
+
+
+def parse_pair(spec: str) -> tuple[str, str]:
+    """Parse a CLI ``--pair`` spec ``a:b`` into a model-name pair.
+
+    Model-name validity is checked at evaluation time (the registry raises
+    a listing ``KeyError``); here only the shape is enforced.
+    """
+    a, sep, b = spec.partition(":")
+    a, b = a.strip(), b.strip()
+    if not sep or not a or not b:
+        raise ValueError(
+            f"bad model pair {spec!r}; expected 'weaker:stronger', e.g. wmm:arm"
+        )
+    if a == b:
+        raise ValueError(f"model pair {spec!r} compares a model with itself")
+    return (a, b)
+
+
+def verdict_table(
+    cells: Iterable[VerdictCell],
+) -> dict[str, dict[str, bool]]:
+    """Pivot verdict cells into a ``test -> model -> allowed`` table.
+
+    Insertion order of the outer dict follows first appearance of each
+    test in ``cells``, so matrices built in suite order keep that order.
+    """
+    table: dict[str, dict[str, bool]] = {}
+    for cell in cells:
+        table.setdefault(cell.test_name, {})[cell.model_name] = cell.allowed
+    return table
+
+
+def mine_discrepancies(
+    verdicts: Mapping[str, Mapping[str, bool]],
+    pairs: Sequence[tuple[str, str]],
+) -> list[Discrepancy]:
+    """All (test, pair) disagreements in a verdict table.
+
+    Tests missing a verdict for either side of a pair are skipped (an
+    interrupted campaign may have partial rows); the output is ordered by
+    the table's test order, then by pair order, so mining is deterministic
+    for any fixed table.
+    """
+    found: list[Discrepancy] = []
+    for test_name, row in verdicts.items():
+        for a, b in pairs:
+            if a not in row or b not in row:
+                continue
+            if row[a] != row[b]:
+                found.append(
+                    Discrepancy(test_name, (a, b), row[a], row[b])
+                )
+    return found
+
+
+def render_discrepancies(
+    discrepancies: Sequence[Discrepancy],
+    sizes: Optional[Mapping[tuple[str, tuple[str, str]], int]] = None,
+    title: str = "Model discrepancies",
+) -> str:
+    """Render discrepancies as an aligned table, smallest witnesses first.
+
+    ``sizes`` maps ``(test_name, pair)`` keys to a size metric (the
+    campaign uses the minimized witness's instruction count — one test
+    can minimize differently for different pairs, so the pair is part of
+    the key); when given, rows are ranked by ascending size — the
+    shortest divergence is the most story-telling — with name order
+    breaking ties.  Without it, table order is kept.
+    """
+    ordered = list(discrepancies)
+    if sizes is not None:
+        ordered.sort(
+            key=lambda d: (
+                sizes.get((d.test_name, d.pair), 1 << 30),
+                d.test_name,
+                d.pair,
+            )
+        )
+    rows = []
+    for disc in ordered:
+        a, b = disc.pair
+        size: object = "-"
+        if sizes is not None:
+            size = sizes.get((disc.test_name, disc.pair), "-")
+        rows.append(
+            [
+                disc.test_name,
+                f"{a}:{b}",
+                "allow" if disc.allowed_a else "forbid",
+                "allow" if disc.allowed_b else "forbid",
+                size,
+            ]
+        )
+    table = render_table(
+        ["test", "pair", "weaker", "stronger", "instrs"], rows, title=title
+    )
+    return table + f"\n{len(ordered)} discrepanc{'y' if len(ordered) == 1 else 'ies'}"

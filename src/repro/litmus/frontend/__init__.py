@@ -13,7 +13,13 @@ from __future__ import annotations
 from .gen import VOCABULARY, cycle_to_test, enumerate_cycles, generate_suite
 from .parser import LitmusParseError, parse_litmus, parse_litmus_file
 from .printer import LitmusPrintError, print_litmus
-from .suite import STATIC_SUITES, SuiteRegistry, load_litmus_path, resolve_suite
+from .suite import (
+    STATIC_SUITES,
+    SuiteRegistry,
+    load_litmus_path,
+    resolve_suite,
+    shard_suite,
+)
 
 __all__ = [
     "VOCABULARY",
@@ -29,4 +35,5 @@ __all__ = [
     "SuiteRegistry",
     "load_litmus_path",
     "resolve_suite",
+    "shard_suite",
 ]

@@ -21,14 +21,20 @@ systematically generated test space through the PR-1 batch engine, and
 from __future__ import annotations
 
 import os
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Sequence
 
 from .. import registry
 from ..test import LitmusTest
 from .gen import generate_suite
 from .parser import LitmusParseError, parse_litmus_file
 
-__all__ = ["SuiteRegistry", "resolve_suite", "parse_gen_spec", "STATIC_SUITES"]
+__all__ = [
+    "SuiteRegistry",
+    "resolve_suite",
+    "parse_gen_spec",
+    "shard_suite",
+    "STATIC_SUITES",
+]
 
 STATIC_SUITES = ("paper", "standard", "all")
 """Suite names resolved against the static catalogue."""
@@ -108,16 +114,31 @@ class SuiteRegistry:
 
 
 def load_litmus_path(path: str) -> list[LitmusTest]:
-    """Parse ``path`` (a ``.litmus`` file or a directory of them)."""
+    """Parse ``path`` (a ``.litmus`` file or a directory of them).
+
+    Duplicate test names within a directory raise
+    :class:`LitmusParseError`: every downstream consumer (verdict
+    matrices, the hunt pipeline) keys results by test name, so a
+    collision would silently drop one of the tests.
+    """
     if os.path.isdir(path):
         entries = sorted(
             entry for entry in os.listdir(path) if entry.endswith(".litmus")
         )
         if not entries:
             raise LitmusParseError(f"no .litmus files in directory {path!r}")
-        return [
+        tests = [
             parse_litmus_file(os.path.join(path, entry)) for entry in entries
         ]
+        seen: dict[str, str] = {}
+        for test, entry in zip(tests, entries):
+            if test.name in seen:
+                raise LitmusParseError(
+                    f"duplicate test name {test.name!r} in directory "
+                    f"{path!r} (files {seen[test.name]!r} and {entry!r})"
+                )
+            seen[test.name] = entry
+        return tests
     return [parse_litmus_file(path)]
 
 
@@ -148,6 +169,27 @@ def parse_gen_spec(spec: str) -> dict:
                 f"got {value!r}"
             ) from None
     return kwargs
+
+
+def shard_suite(
+    tests: Sequence[LitmusTest], shard_index: int, num_shards: int
+) -> list[LitmusTest]:
+    """Deterministic round-robin partition: shard ``i`` gets ``tests[i::n]``.
+
+    The partition is a pure function of the (already deterministic) suite
+    order, so re-resolving the same suite spec always reproduces the same
+    shards — the property campaign resumption and future multi-machine
+    sharding rely on.  Round-robin keeps shard sizes within one test of
+    each other, and concatenating ``shard_suite(t, i, n)`` for ``i`` in
+    ``0..n-1`` covers every test exactly once.
+    """
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    if not 0 <= shard_index < num_shards:
+        raise ValueError(
+            f"shard_index must be in [0, {num_shards}), got {shard_index}"
+        )
+    return list(tests[shard_index::num_shards])
 
 
 def resolve_suite(spec: str) -> list[LitmusTest]:

@@ -1,0 +1,120 @@
+"""Docs-tree consistency: generated CLI reference, links, docstrings.
+
+Keeps the ``docs/`` satellite honest: ``docs/cli.md`` must match what
+``tools/gen_cli_docs.py`` renders from the live argparse tree, every
+relative markdown link must resolve, and the public API of the engine,
+litmus frontend and campaign packages must be fully docstring'd.
+"""
+
+import importlib
+import importlib.util
+import inspect
+import pathlib
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+
+def _load_tool(name: str):
+    """Import a script from tools/ (not a package) as a module."""
+    spec = importlib.util.spec_from_file_location(
+        name, ROOT / "tools" / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestCliReference:
+    def test_cli_md_is_in_sync(self):
+        gen_cli_docs = _load_tool("gen_cli_docs")
+        rendered = gen_cli_docs.render_cli_docs()
+        committed = (ROOT / "docs" / "cli.md").read_text(encoding="utf-8")
+        assert committed == rendered, (
+            "docs/cli.md is stale; regenerate with "
+            "`PYTHONPATH=src python tools/gen_cli_docs.py`"
+        )
+
+    def test_every_command_is_documented(self):
+        from repro.cli import _COMMANDS
+
+        text = (ROOT / "docs" / "cli.md").read_text(encoding="utf-8")
+        for command in _COMMANDS:
+            assert f"## `repro {command}`" in text
+
+    def test_check_mode_detects_staleness(self, tmp_path, monkeypatch, capsys):
+        gen_cli_docs = _load_tool("gen_cli_docs")
+        stale = tmp_path / "cli.md"
+        stale.write_text("out of date", encoding="utf-8")
+        monkeypatch.setattr(gen_cli_docs, "OUTPUT", str(stale))
+        assert gen_cli_docs.main(["--check"]) == 1
+        assert "out of sync" in capsys.readouterr().err
+        assert gen_cli_docs.main([]) == 0
+        assert gen_cli_docs.main(["--check"]) == 0
+
+
+class TestDocsLinks:
+    def test_no_broken_relative_links(self):
+        check = _load_tool("check_docs_links")
+        assert check.broken_links() == []
+
+    def test_checker_catches_a_broken_link(self, tmp_path):
+        check = _load_tool("check_docs_links")
+        doc = tmp_path / "doc.md"
+        doc.write_text(
+            "[ok](doc.md) [web](https://example.com) [bad](missing.md)",
+            encoding="utf-8",
+        )
+        assert [target for _, target in check.broken_links([str(doc)])] == [
+            "missing.md"
+        ]
+
+    def test_docs_tree_exists(self):
+        for name in ("architecture.md", "edges.md", "cli.md"):
+            assert (ROOT / "docs" / name).is_file()
+
+
+def _public_members(obj):
+    """Public methods/properties defined directly on a class."""
+    for name, member in vars(obj).items():
+        if name.startswith("_"):
+            continue
+        fn = member
+        if isinstance(member, (staticmethod, classmethod)):
+            fn = member.__func__
+        elif isinstance(member, property):
+            fn = member.fget
+        if callable(fn):
+            yield name, fn
+
+
+@pytest.mark.parametrize(
+    "module_name",
+    [
+        "repro.engine",
+        "repro.engine.cells",
+        "repro.engine.cache",
+        "repro.engine.scheduler",
+        "repro.litmus.frontend",
+        "repro.litmus.frontend.gen",
+        "repro.litmus.frontend.parser",
+        "repro.litmus.frontend.printer",
+        "repro.litmus.frontend.suite",
+        "repro.campaign",
+        "repro.eval.discrepancy",
+    ],
+)
+def test_public_api_is_docstringed(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} has no module docstring"
+    for name in module.__all__:
+        obj = getattr(module, name)
+        if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+            continue  # constants are documented in the module docstring
+        assert obj.__doc__, f"{module_name}.{name} has no docstring"
+        if inspect.isclass(obj):
+            for member_name, member in _public_members(obj):
+                assert member.__doc__, (
+                    f"{module_name}.{name}.{member_name} has no docstring"
+                )

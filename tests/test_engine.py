@@ -165,6 +165,47 @@ class TestErrorReporting:
             evaluate_cells(cells, jobs=2)
 
 
+class TestOnBatchHook:
+    """The streaming hook drivers (campaign, progress) plug into."""
+
+    def test_serial_hook_fires_per_test_in_order(self):
+        tests = [get_test("dekker"), get_test("mp"), get_test("corr")]
+        cells = [VerdictSpec(t, m) for t in tests for m in ("sc", "gam")]
+        seen = []
+        results = evaluate_cells(
+            cells, on_batch=lambda test, batch: seen.append((test.name, list(batch)))
+        )
+        assert [name for name, _ in seen] == ["dekker", "mp", "corr"]
+        # The streamed batches are exactly the ordered results, chunked.
+        flattened = [result for _, batch in seen for result in batch]
+        assert flattened == results
+
+    def test_hook_sees_cached_results_too(self, tmp_path):
+        cell = VerdictSpec(get_test("dekker"), "gam")
+        first = []
+        evaluate_cells(
+            [cell], cache_dir=str(tmp_path), on_batch=lambda t, b: first.extend(b)
+        )
+        second = []
+        evaluate_cells(
+            [cell], cache_dir=str(tmp_path), on_batch=lambda t, b: second.extend(b)
+        )
+        assert first == second
+
+    @pytest.mark.slow
+    def test_pooled_hook_fires_per_test_in_order(self):
+        tests = [get_test("dekker"), get_test("mp"), get_test("corr")]
+        cells = [VerdictSpec(t, m) for t in tests for m in ("sc", "gam")]
+        seen = []
+        results = evaluate_cells(
+            cells,
+            jobs=2,
+            on_batch=lambda test, batch: seen.append((test.name, list(batch))),
+        )
+        assert [name for name, _ in seen] == ["dekker", "mp", "corr"]
+        assert [r for _, batch in seen for r in batch] == results
+
+
 @pytest.mark.slow
 class TestParallelParity:
     def test_matrix_jobs2_identical(self):

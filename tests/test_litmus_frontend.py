@@ -384,3 +384,42 @@ class TestResolveSuite:
     def test_unknown_spec(self):
         with pytest.raises(KeyError, match="unknown suite"):
             resolve_suite("no-such-suite")
+
+
+class TestResolveSuiteErrorPaths:
+    """Every way a --suite spec can be wrong fails loudly and precisely."""
+
+    def test_bad_gen_key_through_resolve(self):
+        with pytest.raises(ValueError, match="bad generator spec"):
+            resolve_suite("gen:bogus=1")
+        with pytest.raises(ValueError, match="must be an integer"):
+            resolve_suite("gen:edges=x")
+
+    def test_gen_budget_below_minimum(self):
+        with pytest.raises(ValueError, match="at least 3 edges"):
+            resolve_suite("gen:edges=2")
+
+    def test_missing_litmus_path_is_unknown_suite(self):
+        # A path that does not exist falls through to the unknown-suite
+        # error, which names every accepted spec form.
+        with pytest.raises(KeyError, match=r"\.litmus file/directory"):
+            resolve_suite("does/not/exist.litmus")
+
+    def test_empty_directory(self, tmp_path):
+        with pytest.raises(LitmusParseError, match="no .litmus files"):
+            resolve_suite(str(tmp_path))
+
+    def test_directory_with_unparsable_file(self, tmp_path):
+        (tmp_path / "bad.litmus").write_text("GAM broken\nnot litmus at all\n")
+        with pytest.raises(LitmusParseError):
+            resolve_suite(str(tmp_path))
+
+    def test_cli_reports_bad_suite_as_usage_error(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["matrix", "--suite", "gen:bogus=1"]) == 2
+        assert "bad generator spec" in capsys.readouterr().err
+        assert main(["list", "tests", "--suite", "nope.litmus"]) == 2
+        assert "unknown suite" in capsys.readouterr().err
+        assert main(["strength", "--suite", str(tmp_path)]) == 2
+        assert "no .litmus files" in capsys.readouterr().err

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Check that every relative markdown link in the repo's docs resolves.
+
+Scans ``docs/*.md`` plus the top-level narrative files (``README.md``,
+``ROADMAP.md``, ``CHANGES.md``) for ``[text](target)`` links and fails if
+a relative target does not exist on disk.  External links
+(``http(s)://``, ``mailto:``) and pure in-page anchors (``#...``) are
+skipped — this is a filesystem consistency check, not a crawler — and a
+``path#anchor`` target is checked for the path part only.
+
+Run from anywhere::
+
+    python tools/check_docs_links.py
+
+Exit status 0 when every link resolves, 1 otherwise (one line per broken
+link).  Used by the CI docs job and ``tests/test_docs.py``.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import re
+import sys
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_SKIP_SCHEMES = ("http://", "https://", "mailto:")
+
+
+def _documents() -> list[str]:
+    """The markdown files the check covers (repo-root relative)."""
+    files = sorted(glob.glob(os.path.join(_ROOT, "docs", "*.md")))
+    for name in ("README.md", "ROADMAP.md", "CHANGES.md"):
+        path = os.path.join(_ROOT, name)
+        if os.path.exists(path):
+            files.append(path)
+    return files
+
+
+def broken_links(paths=None) -> list[tuple[str, str]]:
+    """All unresolvable relative links as ``(markdown file, target)``."""
+    broken: list[tuple[str, str]] = []
+    for doc in paths if paths is not None else _documents():
+        with open(doc, encoding="utf-8") as handle:
+            text = handle.read()
+        base = os.path.dirname(doc)
+        for match in _LINK.finditer(text):
+            target = match.group(1)
+            if target.startswith(_SKIP_SCHEMES) or target.startswith("#"):
+                continue
+            target_path = target.split("#", 1)[0]
+            if not target_path:
+                continue
+            if not os.path.exists(os.path.join(base, target_path)):
+                broken.append((os.path.relpath(doc, _ROOT), target))
+    return broken
+
+
+def main() -> int:
+    """Report broken links; exit non-zero if any."""
+    broken = broken_links()
+    for doc, target in broken:
+        print(f"broken link in {doc}: {target}", file=sys.stderr)
+    if broken:
+        return 1
+    print(f"all relative links resolve across {len(_documents())} files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
