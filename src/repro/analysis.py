@@ -17,7 +17,12 @@ from __future__ import annotations
 
 from typing import Optional
 
-from .core.axiomatic import MemoryModel, enumerate_executions, enumerate_outcomes
+from .core.axiomatic import (
+    CandidatePrefix,
+    MemoryModel,
+    enumerate_executions,
+    enumerate_outcomes,
+)
 from .core.events import Execution, base_index, INIT_PROC, RMW_STORE_PART
 from .litmus.test import LitmusTest, Outcome
 
@@ -95,8 +100,9 @@ def diff_models(
     holds exactly the behaviours the stronger model's extra constraints
     forbid (e.g. the CoRR stale read for ``gam0`` vs ``gam``).
     """
-    weak_outcomes = enumerate_outcomes(test, weaker, project=project)
-    strong_outcomes = enumerate_outcomes(test, stronger, project=project)
+    prefix = CandidatePrefix(test)
+    weak_outcomes = enumerate_outcomes(test, weaker, project=project, prefix=prefix)
+    strong_outcomes = enumerate_outcomes(test, stronger, project=project, prefix=prefix)
     return (weak_outcomes - strong_outcomes, strong_outcomes - weak_outcomes)
 
 

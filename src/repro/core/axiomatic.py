@@ -21,11 +21,23 @@ repository because every static clause edge goes forward in program order
 (so the per-processor projection is acyclic) and every model orders
 same-address stores by program order (so load values are determined as soon
 as the load is placed — see :func:`_place_load_value`).
+
+Two enumeration engines serve step 2.  Models with no execution-dependent
+clauses and no coherence side condition take the **frontier kernel**
+(:mod:`repro.core.kernel`): a bitmask DP over ``(placed events, last store
+per address)`` abstract states that answers outcome-set and verdict
+queries without materializing any order.  ARM, ``plsc`` and every
+:func:`enumerate_executions` consumer take the exact order enumerator
+below.  Both paths share all candidate preparation through
+:class:`CandidatePrefix`, and the parity suite holds them byte-identical
+on every registered test.
 """
 
 from __future__ import annotations
 
+import bisect
 import itertools
+import os
 from dataclasses import dataclass, field, replace
 from typing import Iterable, Iterator, Mapping, Optional, Sequence
 
@@ -40,7 +52,7 @@ from ..isa.instructions import (
     Rmw,
     Store,
 )
-from ..isa.program import Program, ProgramRun
+from ..isa.program import ExecutedInstr, Program, ProgramError, ProgramRun
 from ..litmus.test import LitmusTest, Outcome
 from .events import (
     EventId,
@@ -50,6 +62,7 @@ from .events import (
     init_events,
     store_part,
 )
+from .kernel import FrontierKernel, kernel_supports
 from .ppo import Clause, DynamicClause, PpoContext, compute_ppo, project_to_memory
 
 __all__ = [
@@ -62,6 +75,7 @@ __all__ = [
     "enumerate_executions",
     "enumerate_outcomes",
     "is_allowed",
+    "kernel_supports",
     "project_outcome",
 ]
 
@@ -282,48 +296,68 @@ def _enumerate_runs(
     consume a domain choice, and each load's candidates come from its
     *resolved address's* domain (the address is always known by the time the
     replay reaches the load).
+
+    One DFS replay forks at each executed load over its candidate values in
+    ascending order — the same run order as enumerating assignments
+    load-by-load with one full :meth:`~repro.isa.program.Program.execute`
+    replay each, but every instruction along a shared prefix executes once
+    instead of once per revisit.
     """
+    instructions = program.instructions
+    labels = program.labels
     runs: list[ProgramRun] = []
 
-    def walk(assignment: dict[int, int]) -> None:
-        try:
-            run = program.execute({**assignment})
-        except KeyError:
-            # Some executed load lacks a value: find it and branch on it.
-            run = None
-        if run is not None:
-            runs.append(run)
-            return
-        next_load, addr = _first_unassigned_load(program, assignment)
-        for value in sorted(domains.for_address(addr)):
-            assignment[next_load] = value
-            walk(assignment)
-            del assignment[next_load]
+    def step(pc: int, regs: dict[str, int], executed: list[ExecutedInstr]) -> None:
+        while pc < len(instructions):
+            instr = instructions[pc]
+            next_pc = pc + 1
+            if isinstance(instr, Rmw):
+                addr = evaluate(instr.addr, regs)
+                for value in sorted(domains.for_address(addr)):
+                    forked = dict(regs)
+                    forked[instr.dst] = value
+                    data = evaluate(instr.data, forked)
+                    step(
+                        next_pc,
+                        forked,
+                        executed
+                        + [ExecutedInstr(pc, instr, addr=addr, value=value, data=data)],
+                    )
+                return
+            if isinstance(instr, Load):
+                addr = evaluate(instr.addr, regs)
+                for value in sorted(domains.for_address(addr)):
+                    forked = dict(regs)
+                    forked[instr.dst] = value
+                    step(
+                        next_pc,
+                        forked,
+                        executed + [ExecutedInstr(pc, instr, addr=addr, value=value)],
+                    )
+                return
+            if isinstance(instr, Store):
+                addr = evaluate(instr.addr, regs)
+                data = evaluate(instr.data, regs)
+                executed.append(ExecutedInstr(pc, instr, addr=addr, value=data))
+            elif isinstance(instr, RegOp):
+                result = evaluate(instr.expr, regs)
+                regs[instr.dst] = result
+                executed.append(ExecutedInstr(pc, instr, value=result))
+            elif isinstance(instr, Branch):
+                cond = evaluate(instr.cond, regs)
+                taken = cond != 0
+                executed.append(ExecutedInstr(pc, instr, value=cond, taken=taken))
+                if taken:
+                    next_pc = labels[instr.target]
+            elif isinstance(instr, (Fence, Nop)):
+                executed.append(ExecutedInstr(pc, instr))
+            else:
+                raise ProgramError(f"unknown instruction kind: {instr!r}")
+            pc = next_pc
+        runs.append(ProgramRun(tuple(executed), regs))
 
-    walk({})
+    step(0, {name: 0 for name in program.registers()}, [])
     return runs
-
-
-def _first_unassigned_load(
-    program: Program, assignment: dict[int, int]
-) -> tuple[int, int]:
-    """Replay to the first unassigned load; return its index and address."""
-    regs = {name: 0 for name in program.registers()}
-    pc = 0
-    while pc < len(program):
-        instr = program[pc]
-        next_pc = pc + 1
-        if isinstance(instr, (Load, Rmw)):
-            if pc not in assignment:
-                return pc, evaluate(instr.addr, regs)
-            regs[instr.dst] = assignment[pc]
-        elif isinstance(instr, RegOp):
-            regs[instr.dst] = evaluate(instr.expr, regs)
-        elif isinstance(instr, Branch):
-            if evaluate(instr.cond, regs) != 0:
-                next_pc = program.labels[instr.target]
-        pc = next_pc
-    raise AssertionError("program completed without an unassigned load")
 
 
 @dataclass
@@ -534,28 +568,36 @@ def _orders_with_load_values(
             else:
                 rf.pop(event.eid, None)
 
-    def backtrack() -> Iterator[tuple[tuple[EventId, ...], dict[EventId, EventId]]]:
+    # The ready frontier is maintained incrementally (drop the placed node,
+    # insort successors whose last predecessor was just placed) rather than
+    # rescanning every node at every depth; keeping it sorted by position in
+    # ``nodes`` preserves the exact enumeration order of the rescan.
+    node_position = {eid: i for i, eid in enumerate(nodes)}
+
+    def backtrack(
+        ready: list[EventId],
+    ) -> Iterator[tuple[tuple[EventId, ...], dict[EventId, EventId]]]:
         if len(placed_nodes) == len(nodes):
             init_order = tuple(e.eid for e in candidate.inits)
             yield init_order + tuple(placed), dict(rf)
             return
-        ready = [
-            eid for eid in nodes if eid not in placed_nodes and indegree[eid] == 0
-        ]
-        for node in ready:
+        for position, node in enumerate(ready):
             undo = place_events(node)
             if undo is None:
                 continue
             placed_nodes.add(node)
+            next_ready = ready[:position] + ready[position + 1 :]
             for succ in succs[node]:
                 indegree[succ] -= 1
-            yield from backtrack()
+                if indegree[succ] == 0:
+                    bisect.insort(next_ready, succ, key=node_position.__getitem__)
+            yield from backtrack(next_ready)
             for succ in succs[node]:
                 indegree[succ] += 1
             placed_nodes.remove(node)
             unplace_events(node, undo)
 
-    yield from backtrack()
+    yield from backtrack([eid for eid in nodes if indegree[eid] == 0])
 
 
 def _dynamic_memory_edges(
@@ -704,6 +746,7 @@ class CandidatePrefix:
         self._bases: dict[int, Optional[_Candidate]] = {}
         self._edges: dict[tuple[int, tuple[str, ...]], frozenset] = {}
         self._orders: dict[tuple[int, frozenset, str], _MemoizedOrders] = {}
+        self._kernels: dict[tuple[int, frozenset, str], FrontierKernel] = {}
         self._dynamic_memo: dict = {}
 
     def covers(self, extra_values: Iterable[int]) -> bool:
@@ -745,6 +788,20 @@ class CandidatePrefix:
             )
         return orders
 
+    def kernel_for(
+        self, combo_index: int, candidate: _Candidate, load_value_mode: str
+    ) -> FrontierKernel:
+        """The frontier kernel for one DAG + load-value axiom (memoized).
+
+        Keyed exactly like :meth:`orders_for`, so models whose clause sets
+        induce the same memory DAG share one solved DP.
+        """
+        key = (combo_index, candidate.mem_edges, load_value_mode)
+        kernel = self._kernels.get(key)
+        if kernel is None:
+            kernel = self._kernels[key] = FrontierKernel(candidate, load_value_mode)
+        return kernel
+
     def dynamic_memo(self) -> dict:
         """Shared memo for :func:`_dynamic_clauses_hold` projections."""
         return self._dynamic_memo
@@ -771,6 +828,7 @@ def enumerate_executions(
         if candidate is None:
             continue
         dynamic_key = (combo_index, model.clause_names())
+        final_regs = _final_regs_of(candidate.runs)
         for mo, rf in prefix.orders_for(combo_index, candidate, model.load_value):
             if not _dynamic_clauses_hold(
                 candidate,
@@ -781,11 +839,6 @@ def enumerate_executions(
                 memo_key=dynamic_key,
             ):
                 continue
-            final_regs = {
-                (proc, reg): value
-                for proc, run in enumerate(candidate.runs)
-                for reg, value in run.final_regs.items()
-            }
             execution = Execution(
                 runs=candidate.runs,
                 events=candidate.events,
@@ -828,14 +881,121 @@ def project_outcome(
     return Outcome(regs=regs, mem=mem)
 
 
+def _kernel_selected(model: MemoryModel, engine: str) -> bool:
+    """Resolve the ``engine`` argument: should the frontier kernel serve?
+
+    ``"auto"`` picks the kernel whenever it is exact for the model (no
+    dynamic clauses, no coherence side condition — see
+    :func:`repro.core.kernel.kernel_supports`) unless the environment sets
+    ``REPRO_ENUM_KERNEL=0``; ``"kernel"`` forces it (raising for models it
+    cannot serve); ``"orders"`` forces the exact order enumerator.
+    """
+    if engine == "orders":
+        return False
+    if engine == "kernel":
+        if not kernel_supports(model):
+            raise ValueError(
+                f"model {model.name!r} needs the exact order enumerator "
+                "(execution-dependent clauses or a coherence side condition)"
+            )
+        return True
+    if engine != "auto":
+        raise ValueError(f"unknown engine {engine!r}; expected auto|kernel|orders")
+    if os.environ.get("REPRO_ENUM_KERNEL", "").strip() == "0":
+        return False
+    return kernel_supports(model)
+
+
+def _final_regs_of(runs: Sequence[ProgramRun]) -> dict[tuple[int, str], int]:
+    """The fixed final register file of one run combination."""
+    return {
+        (proc, reg): value
+        for proc, run in enumerate(runs)
+        for reg, value in run.final_regs.items()
+    }
+
+
+def _regs_feasible(runs: Sequence[ProgramRun], outcome: Outcome) -> bool:
+    """Can this run combination's (fixed) final registers match ``outcome``?"""
+    for proc, reg, value in outcome.regs:
+        if proc >= len(runs) or runs[proc].final_regs.get(reg) != value:
+            return False
+    return True
+
+
+def _kernel_outcomes(
+    prefix: CandidatePrefix, model: MemoryModel, project: str
+) -> frozenset[Outcome]:
+    """Outcome enumeration through the frontier kernel (fast path)."""
+    test = prefix.test
+    outcomes: set[Outcome] = set()
+    for combo_index in range(len(prefix.combos)):
+        candidate = prefix.candidate(combo_index, model)
+        if candidate is None:
+            continue
+        kernel = prefix.kernel_for(combo_index, candidate, model.load_value)
+        finals = kernel.final_memories()
+        if not finals:
+            continue
+        final_regs = _final_regs_of(candidate.runs)
+        for values in finals:
+            outcomes.add(
+                project_outcome(test, final_regs, kernel.as_memory(values), project)
+            )
+    return frozenset(outcomes)
+
+
+def _kernel_is_allowed(
+    prefix: CandidatePrefix, model: MemoryModel, outcome: Outcome
+) -> bool:
+    """Verdict through the frontier kernel, with outcome-directed pruning.
+
+    Within one run combination the final registers are fixed before any
+    memory order is chosen, so combinations whose registers cannot match
+    ``outcome`` are skipped before candidate events, ppo DAGs or the DP are
+    ever built — the dominant saving for *forbidden* verdicts, which must
+    otherwise exhaust every combination.
+    """
+    for combo_index, runs in enumerate(prefix.combos):
+        if not _regs_feasible(runs, outcome):
+            continue
+        candidate = prefix.candidate(combo_index, model)
+        if candidate is None:
+            continue
+        kernel = prefix.kernel_for(combo_index, candidate, model.load_value)
+        finals = kernel.final_memories()
+        if not outcome.mem:
+            if finals:
+                return True
+            continue
+        for values in finals:
+            memory = kernel.as_memory(values)
+            if all(memory.get(addr, 0) == value for addr, value in outcome.mem):
+                return True
+    return False
+
+
 def enumerate_outcomes(
     test: LitmusTest,
     model: MemoryModel,
     extra_values: Iterable[int] = (),
     project: str = "observed",
     prefix: Optional[CandidatePrefix] = None,
+    engine: str = "auto",
 ) -> frozenset[Outcome]:
-    """The set of allowed outcomes, projected per :func:`project_outcome`."""
+    """The set of allowed outcomes, projected per :func:`project_outcome`.
+
+    Dispatches to the frontier kernel when it is exact for ``model`` (see
+    :func:`_kernel_selected`); ``engine="orders"`` forces the exact order
+    enumerator, ``engine="kernel"`` forces the kernel.  Both engines return
+    identical sets — the parity suite enforces it.
+    """
+    if project not in ("observed", "full"):
+        raise ValueError(f"unknown projection {project!r}")
+    if _kernel_selected(model, engine):
+        if prefix is None or not prefix.covers(extra_values):
+            prefix = CandidatePrefix(test, extra_values)
+        return _kernel_outcomes(prefix, model, project)
     outcomes: set[Outcome] = set()
     for execution in enumerate_executions(test, model, extra_values, prefix=prefix):
         outcomes.add(
@@ -850,8 +1010,14 @@ def is_allowed(
     outcome: Optional[Outcome] = None,
     extra_values: Iterable[int] = (),
     prefix: Optional[CandidatePrefix] = None,
+    engine: str = "auto",
 ) -> bool:
-    """Does the model allow ``outcome`` (default: the test's asked outcome)?"""
+    """Does the model allow ``outcome`` (default: the test's asked outcome)?
+
+    Dispatches like :func:`enumerate_outcomes`; the kernel path additionally
+    prunes whole run combinations whose fixed final registers cannot match
+    the outcome before any enumeration work happens.
+    """
     if outcome is None:
         outcome = test.asked
     if outcome is None:
@@ -859,6 +1025,10 @@ def is_allowed(
     extra = set(extra_values)
     extra.update(v for _, _, v in outcome.regs)
     extra.update(v for _, v in outcome.mem)
+    if _kernel_selected(model, engine):
+        if prefix is None or not prefix.covers(extra):
+            prefix = CandidatePrefix(test, extra)
+        return _kernel_is_allowed(prefix, model, outcome)
     for execution in enumerate_executions(test, model, extra, prefix=prefix):
         if outcome.matches(execution.final_regs, execution.final_mem):
             return True

@@ -1,0 +1,197 @@
+"""Frontier-memoized bitmask enumeration kernel — the engine's fast path.
+
+The exact enumerator (:func:`repro.core.axiomatic._orders_with_load_values`)
+backtracks through *every* topological order of the memory-event DAG:
+factorial in event count, and a *forbidden* verdict — the dominant case in
+differential hunts — must exhaust the whole space.  This module collapses
+that search into a dynamic program over DAG antichains.
+
+**The abstract-state argument.**  Within one candidate value combination the
+program runs are fixed, so final registers are fixed; the only thing a
+memory order still decides is final memory and whether the combination is
+realizable at all.  During the left-to-right construction of a memory
+order, every remaining decision depends on exactly two things:
+
+* *which events are already placed* — this determines the ready frontier
+  (the antichain of events whose ppo predecessors are all placed) and
+  whether a load's youngest program-order-earlier same-address store is
+  still unplaced (the LoadValueGAM forwarding case);
+* *the latest placed store's value per address* — this determines the value
+  a non-forwarding load must return, and, at full placement, the final
+  memory itself.
+
+Two partial orders reaching the same ``(placed set, last-store values)``
+state therefore have identical sets of legal completions and identical
+reachable final memories; exploring the state once is exact.  Event
+identity of the last store is irrelevant on this path because nothing
+downstream reads it: read-from sources, coherence side conditions and
+execution-dependent (dynamic) ppo clauses are exactly the features the
+dispatch in :mod:`repro.core.axiomatic` routes to the slow path.
+
+**Representation.**  Events and edges are integer bitmasks: node ``i``'s
+predecessors are a single ``pred_mask[i]`` int, readiness is two mask
+operations, and the placed set is one int — no per-level ready-list
+rescans, no dict-of-EventId successor maps, no set churn.  An RMW's two
+halves form one composite node (the load half is checked against the
+pre-placement state, then the store half's write is applied), realizing the
+"accesses the memory system at one instant" semantics of Section III-C.
+
+**Complexity.**  The DP visits each reachable ``(placed_mask, last_values)``
+state once and scans the ``n`` nodes per state: ``O(S * n)`` where ``S`` is
+bounded by (number of antichain-downsets of the ppo DAG) x (number of
+reachable per-address value tuples) — for litmus-sized tests a few hundred
+states where the order enumerator walks millions of interleavings.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .axiomatic import MemoryModel, _Candidate
+
+__all__ = ["kernel_supports", "FrontierKernel"]
+
+
+def kernel_supports(model: "MemoryModel") -> bool:
+    """Can the frontier kernel serve this model exactly?
+
+    The kernel never materializes read-from relations or complete orders,
+    so models with execution-dependent ppo clauses (ARM's SALdLdARM) or a
+    per-location-SC side condition (``plsc``) need the exact enumerator.
+    """
+    return not model.dynamic_clauses and not model.requires_coherence
+
+
+class FrontierKernel:
+    """The frontier DP for one candidate DAG and load-value axiom.
+
+    Built from a specialized candidate (events plus the model's static-ppo
+    memory DAG); :meth:`final_memories` answers "which final memories can a
+    legal memory order reach?" without materializing any order.  Instances
+    are cached per ``(combo, DAG, axiom)`` by
+    :class:`repro.core.axiomatic.CandidatePrefix`, so models with identical
+    clause sets share one solved DP.
+    """
+
+    __slots__ = (
+        "addresses",
+        "_n",
+        "_full",
+        "_pred_mask",
+        "_checks",
+        "_writes",
+        "_init_values",
+        "_memo",
+        "_finals",
+    )
+
+    def __init__(self, candidate: "_Candidate", load_value_mode: str) -> None:
+        pairs = candidate.rmw_pairs
+        folded = set(pairs.values())
+        node_eids = [e.eid for e in candidate.events if e.eid not in folded]
+        node_of = {eid: i for i, eid in enumerate(node_eids)}
+        for load_eid, store_eid in pairs.items():
+            node_of[store_eid] = node_of[load_eid]
+
+        n = len(node_eids)
+        pred_mask = [0] * n
+        for a, b in candidate.mem_edges:
+            node_a, node_b = node_of[a], node_of[b]
+            if node_a != node_b:
+                pred_mask[node_b] |= 1 << node_a
+
+        self.addresses: tuple[int, ...] = tuple(
+            sorted({e.addr for e in itertools.chain(candidate.inits, candidate.events)})
+        )
+        slot = {addr: i for i, addr in enumerate(self.addresses)}
+        init_values = [0] * len(self.addresses)
+        for event in candidate.inits:
+            init_values[slot[event.addr]] = event.value
+
+        # Per node: an optional load check ``(slot, expected, fwd_bit,
+        # fwd_value)`` (fwd_bit < 0: no forwarding candidate) and an
+        # optional store write ``(slot, value)`` (the store half for RMWs).
+        checks: list[Optional[tuple[int, int, int, int]]] = [None] * n
+        writes: list[Optional[tuple[int, int]]] = [None] * n
+        for i, eid in enumerate(node_eids):
+            event = candidate.event_by_id[eid]
+            if event.is_store:
+                writes[i] = (slot[event.addr], event.value)
+                continue
+            fwd_bit, fwd_value = -1, 0
+            if load_value_mode == "gam" and eid not in candidate.no_forward:
+                po_stores = candidate.po_stores.get(eid, ())
+                if po_stores:
+                    youngest = po_stores[-1]
+                    fwd_bit = node_of[youngest.eid]
+                    fwd_value = youngest.value
+            checks[i] = (slot[event.addr], event.value, fwd_bit, fwd_value)
+            store_eid = pairs.get(eid)
+            if store_eid is not None:
+                store_event = candidate.event_by_id[store_eid]
+                writes[i] = (slot[store_event.addr], store_event.value)
+
+        self._n = n
+        self._full = (1 << n) - 1
+        self._pred_mask = pred_mask
+        self._checks = checks
+        self._writes = writes
+        self._init_values = tuple(init_values)
+        self._memo: dict[tuple[int, tuple[int, ...]], frozenset] = {}
+        self._finals: Optional[frozenset[tuple[int, ...]]] = None
+
+    def final_memories(self) -> frozenset[tuple[int, ...]]:
+        """All final memories (values aligned with :attr:`addresses`) some
+        legal memory order reaches; empty iff no order satisfies the
+        LoadValue axiom (the combination is unrealizable)."""
+        if self._finals is None:
+            self._finals = self._solve(0, self._init_values)
+        return self._finals
+
+    def as_memory(self, values: tuple[int, ...]) -> dict[int, int]:
+        """One :meth:`final_memories` tuple as an ``addr -> value`` dict."""
+        return dict(zip(self.addresses, values))
+
+    def _solve(
+        self, placed: int, last: tuple[int, ...]
+    ) -> frozenset[tuple[int, ...]]:
+        if placed == self._full:
+            return frozenset((last,))
+        key = (placed, last)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        pred_mask = self._pred_mask
+        checks = self._checks
+        writes = self._writes
+        results: set[tuple[int, ...]] = set()
+        for i in range(self._n):
+            bit = 1 << i
+            if placed & bit or pred_mask[i] & ~placed:
+                continue
+            check = checks[i]
+            if check is not None:
+                addr_slot, expected, fwd_bit, fwd_value = check
+                if fwd_bit >= 0 and not placed >> fwd_bit & 1:
+                    value = fwd_value
+                else:
+                    value = last[addr_slot]
+                if value != expected:
+                    continue
+            write = writes[i]
+            if write is not None:
+                addr_slot, value = write
+                if last[addr_slot] == value:
+                    successor = last
+                else:
+                    mutable = list(last)
+                    mutable[addr_slot] = value
+                    successor = tuple(mutable)
+            else:
+                successor = last
+            results.update(self._solve(placed | bit, successor))
+        outcome = frozenset(results)
+        self._memo[key] = outcome
+        return outcome

@@ -44,8 +44,18 @@ __all__ = [
     "evaluate_cell",
 ]
 
-ENGINE_VERSION = 1
-"""Bumped whenever engine/axiomatic semantics change, invalidating caches."""
+ENGINE_VERSION = 2
+"""Bumped whenever engine/axiomatic semantics change, invalidating caches.
+
+Version history:
+
+* 1 — the PR-1 batch engine over the exact order enumerator.
+* 2 — the frontier-kernel fast path (:mod:`repro.core.kernel`): verdicts
+  and outcome sets for models without dynamic clauses or coherence side
+  conditions are answered by the bitmask DP.  Results are parity-tested
+  identical, but the enumeration core changed, so pre-kernel cache entries
+  must miss rather than vouch for the new code path.
+"""
 
 
 @dataclass(frozen=True)
@@ -148,7 +158,12 @@ def evaluate_cell(cell: CellSpec, prefix: Optional[CandidatePrefix]) -> CellResu
 
     ``prefix`` must have been built for ``cell.test`` (or be ``None`` to
     rebuild per call); sharing it across all cells of one test is the
-    engine's central amortization.
+    engine's central amortization.  Engine dispatch happens underneath:
+    :func:`~repro.core.axiomatic.is_allowed` and
+    :func:`~repro.core.axiomatic.enumerate_outcomes` route each model to
+    the frontier kernel when it is exact for it and to the order
+    enumerator otherwise, and the kernel's solved DPs live on the shared
+    prefix alongside the memoized order streams.
     """
     if isinstance(cell, VerdictSpec):
         return is_allowed(cell.test, get_model(cell.model_name), prefix=prefix)

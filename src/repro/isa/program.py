@@ -171,6 +171,11 @@ class Program:
 
         Raises:
             KeyError: if an executed load has no assigned value.
+
+        The engine's run enumerator
+        (:func:`repro.core.axiomatic._enumerate_runs`) inlines these
+        per-instruction semantics to fork at loads without re-replaying;
+        any change here must be mirrored there.
         """
         regs: dict[str, int] = dict(initial_regs or {})
         for name in self.registers():

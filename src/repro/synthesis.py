@@ -18,7 +18,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
-from .core.axiomatic import MemoryModel, enumerate_outcomes
+from .core.axiomatic import CandidatePrefix, MemoryModel, enumerate_outcomes
 from .isa.instructions import Fence
 from .isa.program import Program
 from .litmus.test import LitmusTest
@@ -110,8 +110,9 @@ def restores_sc(
 ) -> bool:
     """Does ``test`` already have exactly its SC outcomes under ``model``?"""
     sc_model = sc_model or get_model("sc")
-    weak = enumerate_outcomes(test, model, project="full")
-    strong = enumerate_outcomes(test, sc_model, project="full")
+    prefix = CandidatePrefix(test)
+    weak = enumerate_outcomes(test, model, project="full", prefix=prefix)
+    strong = enumerate_outcomes(test, sc_model, project="full", prefix=prefix)
     return weak == strong
 
 

@@ -230,3 +230,42 @@ class TestParallelParity:
         assert [(r.test_name, r.pair_name, r.axiomatic, r.operational) for r in serial] == [
             (r.test_name, r.pair_name, r.axiomatic, r.operational) for r in parallel
         ]
+
+
+class TestEngineVersion:
+    """The kernel change bumped ENGINE_VERSION: stale entries must miss."""
+
+    def test_version_is_post_kernel(self):
+        from repro.engine import cells
+
+        assert cells.ENGINE_VERSION >= 2
+
+    def test_version_changes_cache_key(self, monkeypatch):
+        from repro.engine import cells
+
+        cell = VerdictSpec(get_test("dekker"), "gam")
+        key_now = cell_cache_key(cell)
+        monkeypatch.setattr(cells, "ENGINE_VERSION", 1)
+        assert cell_cache_key(cell) != key_now
+
+    def test_pre_kernel_cache_entries_miss(self, tmp_path, monkeypatch):
+        """A verdict stored under engine version 1 must never be served."""
+        from repro.engine import cells
+
+        cell = VerdictSpec(get_test("dekker"), "gam")
+        cache = ResultCache(tmp_path)
+        monkeypatch.setattr(cells, "ENGINE_VERSION", 1)
+        cache.store(cell, True)
+        assert cache.load(cell) is True  # hit while the old version reigns
+        monkeypatch.setattr(cells, "ENGINE_VERSION", 2)
+        assert cache.load(cell) is None  # post-kernel engine never sees it
+
+    def test_outcome_cells_also_keyed_by_version(self, tmp_path, monkeypatch):
+        from repro.engine import cells
+
+        cell = OutcomeSpec(get_test("corr"), "gam", project="full")
+        cache = ResultCache(tmp_path)
+        monkeypatch.setattr(cells, "ENGINE_VERSION", 1)
+        cache.store(cell, frozenset())
+        monkeypatch.undo()
+        assert cache.load(cell) is None

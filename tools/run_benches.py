@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""Run the engine benchmarks and record the perf baseline.
+
+Runs ``benchmarks/bench_axiomatic_engine.py`` twice — once with
+``REPRO_ENUM_KERNEL=0`` (the exact order enumerator, the "before" of the
+frontier-kernel tentpole) and once on the default dispatch (the kernel
+fast path, "after") — plus the engine-parallel matrix benchmark, and
+writes per-benchmark medians and before/after speedups to
+``BENCH_axiomatic.json`` at the repository root.  Future PRs diff against
+this file to see whether they moved the hot path.
+
+Usage::
+
+    python tools/run_benches.py                 # full run (~1 min)
+    python tools/run_benches.py --skip-parallel # axiomatic benches only
+    python tools/run_benches.py -o other.json   # alternate output path
+
+Requires ``pytest-benchmark`` (already a benchmarks/ dependency).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+AXIOMATIC_BENCH = "benchmarks/bench_axiomatic_engine.py"
+PARALLEL_BENCH = "benchmarks/bench_engine_parallel.py"
+DEFAULT_OUT = ROOT / "BENCH_axiomatic.json"
+
+
+def _run_bench(bench: str, json_path: pathlib.Path, extra_env: dict) -> None:
+    env = dict(os.environ)
+    src = str(ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}{os.pathsep}{existing}" if existing else src
+    env.update(extra_env)
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        bench,
+        "-q",
+        "-p",
+        "no:cacheprovider",
+        f"--benchmark-json={json_path}",
+    ]
+    result = subprocess.run(
+        command, cwd=ROOT, env=env, capture_output=True, text=True
+    )
+    if result.returncode != 0:
+        sys.stderr.write(result.stdout)
+        sys.stderr.write(result.stderr)
+        raise SystemExit(f"benchmark run failed: {' '.join(command)}")
+
+
+def _medians(json_path: pathlib.Path) -> dict[str, float]:
+    data = json.loads(json_path.read_text())
+    return {
+        bench["name"]: round(bench["stats"]["median"], 6)
+        for bench in data["benchmarks"]
+    }
+
+
+def collect(skip_parallel: bool = False) -> dict:
+    """Run the benchmark matrix and assemble the baseline payload."""
+    payload: dict = {
+        "bench": AXIOMATIC_BENCH,
+        "unit": "seconds (median per call)",
+        "before_env": {"REPRO_ENUM_KERNEL": "0"},
+    }
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp_path = pathlib.Path(tmp)
+        before_json = tmp_path / "before.json"
+        after_json = tmp_path / "after.json"
+        _run_bench(AXIOMATIC_BENCH, before_json, {"REPRO_ENUM_KERNEL": "0"})
+        _run_bench(AXIOMATIC_BENCH, after_json, {})
+        before = _medians(before_json)
+        after = _medians(after_json)
+        payload["before"] = before
+        payload["after"] = after
+        payload["speedup"] = {
+            name: round(before[name] / after[name], 2)
+            for name in sorted(before)
+            if name in after and after[name] > 0
+        }
+        if not skip_parallel:
+            parallel_json = tmp_path / "parallel.json"
+            _run_bench(PARALLEL_BENCH, parallel_json, {})
+            payload["engine_parallel"] = _medians(parallel_json)
+            matrix_json = ROOT / "benchmarks/results/BENCH_engine_parallel.json"
+            if matrix_json.exists():
+                payload["engine_parallel_matrix"] = json.loads(
+                    matrix_json.read_text()
+                )
+    return payload
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "-o",
+        "--output",
+        type=pathlib.Path,
+        default=DEFAULT_OUT,
+        help=f"output path (default: {DEFAULT_OUT.name} at the repo root)",
+    )
+    parser.add_argument(
+        "--skip-parallel",
+        action="store_true",
+        help="skip the engine-parallel matrix benchmark",
+    )
+    args = parser.parse_args(argv)
+    payload = collect(skip_parallel=args.skip_parallel)
+    args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    hard = [name for name in payload["speedup"] if "hard_figures[" in name or "iriw" in name]
+    for name in sorted(hard):
+        print(f"{name}: {payload['speedup'][name]}x")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
