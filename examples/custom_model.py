@@ -10,11 +10,20 @@ points and finds litmus tests that witness each difference:
 * pick ARM's SALdLdARM           -> RSW/RNSW asymmetry (Figs. 14c/14d);
 * pick SALdLd                    -> GAM, per-location SC restored.
 
+It then does the same *declaratively*: models are data, so the
+drop-AddrSt experiment lives in ``examples/no_addrst.model`` (a choice
+``assemble`` deliberately does not expose) and resolves through the one
+universal entry point, :func:`repro.models.resolve_model` — exactly the
+spec strings every CLI ``--model`` argument accepts.
+
 Run:  python examples/custom_model.py
 """
 
+import os
+
 from repro import assemble, derivation_chain, get_test, is_allowed
 from repro.core.construction import CONSTRAINTS
+from repro.models import resolve_model, resolve_models
 
 
 def verdict(model, test_name: str) -> str:
@@ -54,6 +63,34 @@ def main() -> None:
     print(f"  with SALdLd, the model {verdict(gam, 'rsw')} RSW "
           f"and {verdict(gam, 'rnsw')} RNSW  <- GAM's uniform answer")
     print(f"  ... and {verdict(gam, 'corr')} CoRR, restoring per-location SC.")
+    print()
+
+    print("Models are data: the same experiments as declarative specs:\n")
+
+    # A spec string per experiment — registry names, inline construction
+    # points and .model files all resolve through resolve_model, exactly
+    # like the CLI's -m/--model arguments.
+    here = os.path.dirname(os.path.abspath(__file__))
+    no_addrst_file = os.path.join(here, "no_addrst.model")
+    print(f"  {os.path.relpath(no_addrst_file)} drops AddrSt — a choice "
+          "assemble() does not even expose:")
+    no_addrst = resolve_model(no_addrst_file)
+    print(f"    clauses: {', '.join(no_addrst.clause_names())}")
+    print(f"    the file model {verdict(no_addrst, 'lb+addrpo-st')} "
+          f"lb+addrpo-st, while {verdict(resolve_model('gam'), 'lb+addrpo-st')}"
+          " under gam  <- why AddrSt exists")
+    print()
+
+    print("  ctor: specs are inline construction points:")
+    arm_like = resolve_model("ctor:same_address_loads=arm")
+    print(f"    {arm_like.name} {verdict(arm_like, 'rsw')} RSW "
+          f"(same model as the assemble() call above)")
+    print()
+
+    print("  space: specs enumerate a family — the paper's methodology "
+          "(repro hunt --pair \"space:same_address_loads=*:gam\"):")
+    for member in resolve_models("space:same_address_loads=*"):
+        print(f"    {member.name:35s} {verdict(member, 'corr')} CoRR")
 
 
 if __name__ == "__main__":

@@ -44,7 +44,13 @@ from .core.operational import (
     operational_outcomes,
 )
 from .litmus import LitmusBuilder, LitmusTest, Outcome, all_tests, get_test
-from .models import comparison_models, get_model, model_names
+from .models import (
+    comparison_models,
+    get_model,
+    model_names,
+    resolve_model,
+    resolve_models,
+)
 
 __version__ = "1.0.0"
 
@@ -58,6 +64,8 @@ __all__ = [
     "get_model",
     "model_names",
     "comparison_models",
+    "resolve_model",
+    "resolve_models",
     "is_allowed",
     "enumerate_outcomes",
     "enumerate_executions",

@@ -27,10 +27,11 @@ killed-and-rerun campaign reaches byte-identical final reports.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, replace
-from typing import Callable, Optional, Sequence
+from typing import Callable, Mapping, Optional, Sequence
 
-from ..engine import VerdictSpec, evaluate_cells
+from ..engine import ModelLike, VerdictSpec, evaluate_cells
 from ..eval.discrepancy import (
     Discrepancy,
     mine_discrepancies,
@@ -46,7 +47,13 @@ from .minimize import (
     instruction_count,
     minimize_divergence,
 )
-from .state import CampaignDir, CampaignError, CampaignSpec, suite_digest
+from .state import (
+    CampaignDir,
+    CampaignError,
+    CampaignSpec,
+    member_names,
+    suite_digest,
+)
 
 __all__ = ["WitnessRecord", "HuntReport", "run_hunt", "DEFAULT_PAIRS"]
 
@@ -104,19 +111,27 @@ class HuntReport:
 
 
 def _witness_stem(disc: Discrepancy) -> str:
-    """Deterministic file/test name for a discrepancy's witness."""
-    return f"{disc.test_name}__{disc.pair[0]}-vs-{disc.pair[1]}"
+    """Deterministic file/test name for a discrepancy's witness.
+
+    Constructed member names (``ctor(same_address_loads=arm)``) carry
+    characters that are awkward in filenames; runs of them collapse to a
+    single ``-``.  Registry-name pairs pass through untouched, keeping
+    historical reports byte-identical.
+    """
+    stem = f"{disc.test_name}__{disc.pair[0]}-vs-{disc.pair[1]}"
+    return re.sub(r"[^A-Za-z0-9._+=-]+", "-", stem).strip("-")
 
 
 def _evaluate_shards(
     campaign: CampaignDir,
     spec: CampaignSpec,
     tests: Sequence[LitmusTest],
+    models: Sequence[str],
+    lookup: Mapping[str, ModelLike],
     jobs: int,
     log: Callable[[str], None],
 ) -> None:
     """Run every incomplete shard's verdict grid and persist its record."""
-    models = spec.model_names
     for index in range(spec.num_shards):
         if campaign.load_shard(index) is not None:
             log(f"shard {index + 1}/{spec.num_shards}: already complete")
@@ -127,7 +142,9 @@ def _evaluate_shards(
             f"{len(shard_tests)} tests x {len(models)} models"
         )
         cells = [
-            VerdictSpec(test, model) for test in shard_tests for model in models
+            VerdictSpec(test, lookup[model])
+            for test in shard_tests
+            for model in models
         ]
         done = {"count": 0}
 
@@ -192,6 +209,7 @@ def _minimize_and_write(
     campaign: CampaignDir,
     discrepancies: Sequence[Discrepancy],
     tests_by_name: dict[str, LitmusTest],
+    lookup: Mapping[str, ModelLike],
     log: Callable[[str], None],
 ) -> list[WitnessRecord]:
     """Minimize each discrepancy, write its witness, re-verify it."""
@@ -199,7 +217,10 @@ def _minimize_and_write(
     for disc in discrepancies:
         # Cheap per-discrepancy closure; the engine cache underneath
         # dedupes the actual verdict work across discrepancies.
-        check = divergence_check(disc.pair, cache_dir=campaign.cache_dir)
+        check = divergence_check(
+            (lookup[disc.pair[0]], lookup[disc.pair[1]]),
+            cache_dir=campaign.cache_dir,
+        )
         result = minimize_divergence(tests_by_name[disc.test_name], check)
         stem = _witness_stem(disc)
         witness = replace(
@@ -218,7 +239,7 @@ def _minimize_and_write(
         reparsed = parse_litmus_file(str(path))
         cells = litmus_matrix(
             tests=[reparsed],
-            model_names=list(disc.pair),
+            model_names=[lookup[name] for name in disc.pair],
             cache_dir=campaign.cache_dir,
         )
         verdicts = {cell.model_name: cell.allowed for cell in cells}
@@ -297,8 +318,11 @@ def run_hunt(
         suite: any ``--suite`` spec (``gen:...``, static names,
             ``.litmus`` paths).  Optional when resuming: the stored spec
             supplies it.
-        pairs: ``(weaker, stronger)`` model-name pairs to differentiate;
-            defaults to :data:`DEFAULT_PAIRS` for a fresh campaign.
+        pairs: ``(weaker, stronger)`` model-*spec* pairs to differentiate;
+            each side is anything :func:`repro.models.spec.resolve_models`
+            accepts, so ``("space:same_address_loads=*", "gam")`` hunts a
+            whole constructed family against a baseline.  Defaults to
+            :data:`DEFAULT_PAIRS` for a fresh campaign.
         num_shards: deterministic suite chunks (default 4 when fresh).
         jobs: worker processes per shard's engine run.
         resume: require existing state (a guard against typo'd ``--out``
@@ -345,6 +369,18 @@ def run_hunt(
         num_shards=shards,
         suite_digest=suite_digest(tests),
     )
+    # Expand pair specs (space:/file families fan out to concrete member
+    # pairs) before any state is written: a bad model spec must not poison
+    # the campaign directory either, and the expansion's content digests
+    # are part of the campaign's identity via spec.to_json().
+    concrete_pairs, lookup = spec.expansion()
+    model_names = member_names(concrete_pairs)
+    if len(concrete_pairs) != len(spec.pairs):
+        log(
+            f"expanded {len(spec.pairs)} pair spec(s) into "
+            f"{len(concrete_pairs)} concrete pairs over "
+            f"{len(model_names)} models"
+        )
     if stored is None:
         campaign.write_spec(spec)
         log(f"new campaign at {out}: {spec.suite!r}, shards={spec.num_shards}")
@@ -356,14 +392,16 @@ def run_hunt(
             f"{done}/{spec.num_shards} shards complete"
         )
 
-    _evaluate_shards(campaign, spec, tests, jobs, log)
+    _evaluate_shards(campaign, spec, tests, model_names, lookup, jobs, log)
 
     table = _verdict_table(campaign, spec, tests)
-    discrepancies = mine_discrepancies(table, spec.pairs)
+    discrepancies = mine_discrepancies(table, concrete_pairs)
     log(f"mined {len(discrepancies)} discrepancies over {len(tests)} tests")
 
     tests_by_name = {test.name: test for test in tests}
-    witnesses = _minimize_and_write(campaign, discrepancies, tests_by_name, log)
+    witnesses = _minimize_and_write(
+        campaign, discrepancies, tests_by_name, lookup, log
+    )
 
     text = _render_report(spec, len(tests), discrepancies, witnesses)
     campaign.write_report(

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
 from ..core.axiomatic import DomainOverflowError
-from ..engine import EngineWorkerError, VerdictSpec, evaluate_cells
+from ..engine import EngineWorkerError, ModelLike, VerdictSpec, evaluate_cells
 from ..isa.program import Program, ProgramError
 from ..litmus.test import LitmusTest, Outcome
 
@@ -57,9 +57,13 @@ class MinimizationResult:
 
 
 def divergence_check(
-    pair: tuple[str, str], cache_dir: Optional[str] = None
+    pair: tuple[ModelLike, ModelLike], cache_dir: Optional[str] = None
 ) -> Callable[[LitmusTest], bool]:
     """A predicate "do the pair's models disagree about ``test``?".
+
+    Each side is a :data:`~repro.engine.ModelLike` — a registry name or a
+    resolved :class:`~repro.core.axiomatic.MemoryModel` (how the campaign
+    driver passes constructed family members).
 
     Verdicts go through the batch engine, so the two models share one
     candidate prefix per variant and — with ``cache_dir`` set — every

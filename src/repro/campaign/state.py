@@ -32,12 +32,14 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from ..engine import ENGINE_VERSION
-from ..engine.cells import model_descriptor
+from ..engine.cells import ModelLike, model_descriptor
 
 __all__ = [
     "CampaignError",
     "CampaignSpec",
     "CampaignDir",
+    "expand_pair_specs",
+    "member_names",
     "model_digest",
     "suite_digest",
 ]
@@ -50,13 +52,92 @@ class CampaignError(RuntimeError):
     """A campaign directory cannot be (re)used as requested."""
 
 
-def model_digest(model_name: str) -> str:
-    """Content digest of a registry model (clauses + axioms), for staleness
-    detection: a model edited between runs invalidates recorded verdicts."""
+def model_digest(model: ModelLike) -> str:
+    """Content digest of a model (clauses + axioms), for staleness
+    detection: a model edited between runs — a registry factory *or* a
+    ``.model`` file a spec resolves through — invalidates recorded
+    verdicts."""
     descriptor = json.dumps(
-        model_descriptor(model_name), sort_keys=True, separators=(",", ":")
+        model_descriptor(model), sort_keys=True, separators=(",", ":")
     )
     return hashlib.sha256(descriptor.encode("utf-8")).hexdigest()
+
+
+def expand_pair_specs(
+    pairs: Sequence[tuple[str, str]],
+) -> tuple[tuple[tuple[str, str], ...], dict[str, ModelLike]]:
+    """Expand pair *specs* into concrete named pairs plus a model lookup.
+
+    Each side of a pair is a model spec (see
+    :func:`repro.models.spec.resolve_models`).  A registry name stays a
+    name — preserving the historical campaign identity for plain pairs —
+    while family specs (``space:...``, ``.model`` directories) fan out
+    into one concrete pair per member, cross-producting when both sides
+    are families.  Self-pairs (same display name on both sides) are
+    skipped and duplicates deduplicated, in deterministic spec order.
+
+    Returns:
+        ``(concrete_pairs, models_by_name)`` where every name in a
+        concrete pair keys a :data:`~repro.engine.ModelLike` in the
+        lookup (the spec string itself for registry names, the resolved
+        model otherwise).
+
+    Raises:
+        CampaignError: two different specs produce members with the same
+            name but different content (the verdict table would silently
+            conflate them).
+    """
+    from ..models.registry import REGISTRY
+    from ..models.spec import resolve_models
+
+    lookup: dict[str, ModelLike] = {}
+
+    def claim(name: str, spec: str, model: ModelLike) -> None:
+        existing = lookup.get(name)
+        if existing is not None and model_descriptor(
+            existing
+        ) != model_descriptor(model):
+            raise CampaignError(
+                f"model name {name!r} (from spec {spec!r}) collides "
+                "with a different model of the same name in this campaign"
+            )
+        lookup.setdefault(name, model)
+
+    def expand_side(spec: str) -> list[str]:
+        if spec in REGISTRY:
+            claim(spec, spec, spec)
+            return [spec]
+        names: list[str] = []
+        for model in resolve_models(spec):
+            claim(model.name, spec, model)
+            names.append(model.name)
+        return names
+
+    concrete: list[tuple[str, str]] = []
+    for a_spec, b_spec in pairs:
+        for name_a in expand_side(a_spec):
+            for name_b in expand_side(b_spec):
+                pair = (name_a, name_b)
+                if name_a != name_b and pair not in concrete:
+                    concrete.append(pair)
+    if not concrete:
+        raise CampaignError(
+            f"pair specs {[':'.join(p) for p in pairs]} expand to no "
+            "two-sided pairs"
+        )
+    return tuple(concrete), lookup
+
+
+def member_names(
+    concrete_pairs: Sequence[tuple[str, str]],
+) -> tuple[str, ...]:
+    """Every model a concrete pair list mentions, first-seen order."""
+    names: list[str] = []
+    for a, b in concrete_pairs:
+        for name in (a, b):
+            if name not in names:
+                names.append(name)
+    return tuple(names)
 
 
 def suite_digest(tests) -> str:
@@ -84,12 +165,14 @@ class CampaignSpec:
 
     Attributes:
         suite: the ``--suite`` spec the shards are generated from.
-        pairs: the differentiated model pairs, in CLI order.
+        pairs: the differentiated model-pair *specs*, in CLI order; each
+            side is anything :func:`repro.models.spec.resolve_models`
+            accepts, so one stored pair may expand to a whole family.
         num_shards: how many deterministic chunks the suite is split into.
         suite_digest: content digest of the *resolved* suite (see
             :func:`suite_digest`); ``""`` means unchecked.
         engine_version / campaign_version: staleness guards.
-        model_digests: content digest per model named by ``pairs``.
+        model_digests: content digest per expanded member model.
     """
 
     suite: str
@@ -99,18 +182,27 @@ class CampaignSpec:
     engine_version: int = ENGINE_VERSION
     campaign_version: int = CAMPAIGN_VERSION
 
+    def expansion(
+        self,
+    ) -> tuple[tuple[tuple[str, str], ...], dict[str, ModelLike]]:
+        """The concrete (named) pairs and model lookup the specs expand to.
+
+        Re-computed on demand — deliberately, not cached: a ``.model``
+        file edited between runs must change the expansion's digests so
+        :meth:`CampaignDir.check_spec` refuses a stale resume.
+        """
+        return expand_pair_specs(self.pairs)
+
     @property
     def model_names(self) -> tuple[str, ...]:
-        """Every model the pairs mention, deduplicated in first-seen order."""
-        names: list[str] = []
-        for a, b in self.pairs:
-            for name in (a, b):
-                if name not in names:
-                    names.append(name)
-        return tuple(names)
+        """Every expanded member model, deduplicated in first-seen order."""
+        concrete, _ = self.expansion()
+        return member_names(concrete)
 
     def to_json(self) -> dict:
         """The ``campaign.json`` payload (includes model digests)."""
+        concrete, lookup = self.expansion()
+        names = member_names(concrete)
         return {
             "campaign_version": self.campaign_version,
             "engine_version": self.engine_version,
@@ -119,7 +211,7 @@ class CampaignSpec:
             "pairs": [list(pair) for pair in self.pairs],
             "num_shards": self.num_shards,
             "model_digests": {
-                name: model_digest(name) for name in self.model_names
+                name: model_digest(lookup[name]) for name in names
             },
         }
 

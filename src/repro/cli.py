@@ -21,6 +21,9 @@ Commands:
   test generation (diy-style);
 * ``import FILE [FILE ...]`` — parse and validate ``.litmus`` files;
 * ``export [--suite SUITE] [-o DIR]`` — print/write tests as ``.litmus``;
+* ``model show MODEL`` / ``model import FILE ...`` /
+  ``model export [--model MODEL ...] [-o DIR]`` — print, validate/register
+  and write ``.model`` definitions (see :mod:`repro.models.spec`);
 * ``sim [--workloads ...] [--length N] [--checkpoints K]`` — Figure 18 +
   Tables II/III.
 
@@ -29,6 +32,14 @@ Commands:
 path to a ``.litmus`` file or a directory of them — so generated and
 imported suites flow through the same harnesses as the built-in
 catalogue.
+
+``MODEL`` — every ``--model``/``-m``, ``WEAKER``/``STRONGER`` and
+``--pair`` side — is a *model spec* resolved by
+:func:`repro.models.spec.resolve_model`: a registry name or alias, a
+``.model`` file or directory, an inline construction point
+(``ctor:same_address_loads=arm``), or — where a family makes sense, as in
+``hunt --pair "space:same_address_loads=*:gam"`` — a ``space:``
+enumeration over the construction lattice.
 
 The grid-shaped commands (``matrix``, ``equiv``, ``strength``) run on the
 batch evaluation engine (:mod:`repro.engine`): per-test candidate work is
@@ -72,6 +83,19 @@ def _resolve_suite(spec: str):
         raise CLIUsageError(str(exc)) from exc
 
 
+def _resolve_model(spec: str):
+    """Resolve a model spec — the one call site behind every model argument.
+
+    Registry names, ``.model`` paths and ``ctor:`` specs all land here;
+    unknown names surface as the registry's listing ``KeyError`` and
+    malformed specs as :class:`repro.models.spec.ModelSpecError`, both
+    rendered by :func:`main`.
+    """
+    from .models.spec import resolve_model
+
+    return resolve_model(spec)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -83,6 +107,10 @@ def build_parser() -> argparse.ArgumentParser:
     suite_help = (
         "paper|standard|all, gen:edges=N[,size=M][,seed=S], "
         "or a .litmus file/directory path"
+    )
+    model_help = (
+        "a registry model name, a .model file/directory path, "
+        "or ctor:knob=value,..."
     )
 
     list_cmd = sub.add_parser("list", help="list catalogue contents")
@@ -109,7 +137,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     check = sub.add_parser("check", help="is the asked outcome allowed?")
     check.add_argument("test", help="litmus test name")
-    check.add_argument("-m", "--model", default="gam", help="memory model name")
+    check.add_argument("-m", "--model", default="gam", help=f"memory model spec ({model_help})")
     check.add_argument(
         "--operational",
         action="store_true",
@@ -118,7 +146,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     outcomes = sub.add_parser("outcomes", help="enumerate allowed outcomes")
     outcomes.add_argument("test", help="litmus test name")
-    outcomes.add_argument("-m", "--model", default="gam", help="memory model name")
+    outcomes.add_argument("-m", "--model", default="gam", help=f"memory model spec ({model_help})")
     outcomes.add_argument(
         "--full", action="store_true", help="project onto all registers"
     )
@@ -127,12 +155,12 @@ def build_parser() -> argparse.ArgumentParser:
         "witness", help="show an execution witnessing the asked outcome"
     )
     witness.add_argument("test", help="litmus test name")
-    witness.add_argument("-m", "--model", default="gam", help="memory model name")
+    witness.add_argument("-m", "--model", default="gam", help=f"memory model spec ({model_help})")
 
     diff = sub.add_parser("diff", help="outcome-set difference of two models")
     diff.add_argument("test", help="litmus test name")
-    diff.add_argument("weaker", help="the (expectedly) weaker model")
-    diff.add_argument("stronger", help="the (expectedly) stronger model")
+    diff.add_argument("weaker", help=f"the (expectedly) weaker model ({model_help})")
+    diff.add_argument("stronger", help=f"the (expectedly) stronger model ({model_help})")
 
     def add_engine_flags(cmd: argparse.ArgumentParser) -> None:
         cmd.add_argument(
@@ -177,7 +205,7 @@ def build_parser() -> argparse.ArgumentParser:
         "synth", help="synthesize minimal fences restoring SC"
     )
     synth.add_argument("test", help="litmus test name")
-    synth.add_argument("-m", "--model", default="gam", help="weak model name")
+    synth.add_argument("-m", "--model", default="gam", help=f"weak model spec ({model_help})")
     synth.add_argument(
         "--max-fences", type=int, default=3, help="search bound on fence count"
     )
@@ -196,8 +224,8 @@ def build_parser() -> argparse.ArgumentParser:
         action="append",
         default=None,
         metavar="A:B",
-        help="model pair to differentiate, e.g. wmm:arm "
-        "(repeatable; default: wmm:arm)",
+        help="model-spec pair to differentiate, e.g. wmm:arm or "
+        "space:same_address_loads=*:gam (repeatable; default: wmm:arm)",
     )
     hunt.add_argument(
         "--shards",
@@ -279,6 +307,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="write one .litmus file per test into DIR (default: stdout)",
     )
 
+    model_cmd = sub.add_parser(
+        "model", help="inspect, import and export .model definitions"
+    )
+    model_sub = model_cmd.add_subparsers(dest="model_command", required=True)
+
+    model_show = model_sub.add_parser(
+        "show", help="print a model as canonical .model text"
+    )
+    model_show.add_argument(
+        "model",
+        metavar="MODEL",
+        help=f"model spec ({model_help}, or space:knob=*,... for a family)",
+    )
+
+    model_import = model_sub.add_parser(
+        "import", help="parse and validate .model files"
+    )
+    model_import.add_argument(
+        "files", nargs="+", metavar="FILE", help=".model files or directories"
+    )
+
+    model_export = model_sub.add_parser(
+        "export", help="write models out as .model text"
+    )
+    model_export.add_argument(
+        "--model",
+        dest="models",
+        action="append",
+        default=None,
+        metavar="MODEL",
+        help=f"model spec to export ({model_help}; repeatable; "
+        "default: every registry model)",
+    )
+    model_export.add_argument(
+        "-o", "--out", default=None, metavar="DIR",
+        help="write one .model file per model into DIR (default: stdout)",
+    )
+
     sim = sub.add_parser("sim", help="run the Section V evaluation")
     sim.add_argument(
         "--workloads",
@@ -302,11 +368,16 @@ def _cmd_list(args: argparse.Namespace) -> int:
             source = f" ({test.source})" if test.source else ""
             print(f"{test.name:24s}{source} {test.description}")
     elif args.what == "models":
-        from .models.registry import get_model, model_names
+        from .models.registry import REGISTRY
 
-        for name in model_names():
-            model = get_model(name)
-            print(f"{name:12s} {model.description}")
+        aliases = REGISTRY.aliases()
+        for name in REGISTRY.all_names():
+            if name in aliases:
+                # An alias row points at its target instead of instantiating
+                # (and describing) the same model twice.
+                print(f"{name:12s} -> {aliases[name]}")
+            else:
+                print(f"{name:12s} {REGISTRY.get(name).description}")
     else:
         from .workloads.profiles import PROFILES
 
@@ -340,18 +411,21 @@ def _cmd_check(args: argparse.Namespace) -> int:
         return 2
     if args.operational:
         from .core.operational import GAM0_MACHINE, GAM_MACHINE, operational_allows
+        from .models.registry import REGISTRY
 
+        # Aliases resolve before the machine lookup, so `-m rmo` reaches
+        # the gam0 machine rather than being rejected as unknown.
         machines = {"gam": GAM_MACHINE, "gam0": GAM0_MACHINE}
-        if args.model not in machines:
+        canonical = REGISTRY.canonical_name(args.model)
+        if canonical not in machines:
             print(f"--operational supports models: {', '.join(machines)}")
             return 2
-        allowed = operational_allows(test, machines[args.model])
+        allowed = operational_allows(test, machines[canonical])
         definition = "abstract machine"
     else:
         from .core.axiomatic import is_allowed
-        from .models.registry import get_model
 
-        allowed = is_allowed(test, get_model(args.model))
+        allowed = is_allowed(test, _resolve_model(args.model))
         definition = "axioms"
     verdict = "ALLOWED" if allowed else "FORBIDDEN"
     print(f"{test.name}: {test.asked} is {verdict} under {args.model} ({definition})")
@@ -365,11 +439,10 @@ def _cmd_check(args: argparse.Namespace) -> int:
 def _cmd_outcomes(args: argparse.Namespace) -> int:
     from .core.axiomatic import enumerate_outcomes
     from .litmus.registry import get_test
-    from .models.registry import get_model
 
     test = get_test(args.test)
     project = "full" if args.full else "observed"
-    outcomes = enumerate_outcomes(test, get_model(args.model), project=project)
+    outcomes = enumerate_outcomes(test, _resolve_model(args.model), project=project)
     for outcome in sorted(outcomes, key=str):
         print(f"  {outcome}")
     print(f"{len(outcomes)} outcome(s) under {args.model}")
@@ -379,10 +452,9 @@ def _cmd_outcomes(args: argparse.Namespace) -> int:
 def _cmd_witness(args: argparse.Namespace) -> int:
     from .analysis import find_witness, render_execution
     from .litmus.registry import get_test
-    from .models.registry import get_model
 
     test = get_test(args.test)
-    witness = find_witness(test, get_model(args.model))
+    witness = find_witness(test, _resolve_model(args.model))
     if witness is None:
         print(
             f"{test.name}: no witness — {args.model} forbids {test.asked} "
@@ -396,13 +468,12 @@ def _cmd_witness(args: argparse.Namespace) -> int:
 def _cmd_diff(args: argparse.Namespace) -> int:
     from .analysis import render_diff
     from .litmus.registry import get_test
-    from .models.registry import get_model
 
     print(
         render_diff(
             get_test(args.test),
-            get_model(args.weaker),
-            get_model(args.stronger),
+            _resolve_model(args.weaker),
+            _resolve_model(args.stronger),
         )
     )
     return 0
@@ -464,12 +535,11 @@ def _cmd_equiv(args: argparse.Namespace) -> int:
 
 def _cmd_synth(args: argparse.Namespace) -> int:
     from .litmus.registry import get_test
-    from .models.registry import get_model
     from .synthesis import synthesize_fences
 
     test = get_test(args.test)
     result = synthesize_fences(
-        test, get_model(args.model), max_fences=args.max_fences
+        test, _resolve_model(args.model), max_fences=args.max_fences
     )
     if result is None:
         print(
@@ -608,6 +678,72 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_model(args: argparse.Namespace) -> int:
+    from .models.spec import load_model_path, print_model, resolve_models
+
+    if args.model_command == "show":
+        models = resolve_models(args.model)
+        for i, model in enumerate(models):
+            if i:
+                print()
+            print(print_model(model), end="")
+        if len(models) != 1:
+            print(f"# family of {len(models)} models from {args.model!r}")
+        return 0
+    if args.model_command == "import":
+        from .models.spec import parse_model
+
+        # Like `repro import` for .litmus files this validates without
+        # touching the process-wide registry: shadowing a zoo name is fine
+        # for validation, only duplicates *within* the import fail.
+        seen: dict[str, str] = {}
+        for path in args.files:
+            for model in load_model_path(path):
+                if model.name in seen:
+                    raise CLIUsageError(
+                        f"duplicate model name {model.name!r} in import "
+                        f"(files {seen[model.name]!r} and {path!r})"
+                    )
+                seen[model.name] = path
+                # Validate the printer/parser round trip on every import.
+                text = print_model(model)
+                if print_model(parse_model(text)) != text:
+                    print(
+                        f"error: {model.name!r} does not round-trip",
+                        file=sys.stderr,
+                    )
+                    return 2
+                print(
+                    f"imported {model.name:32s} "
+                    f"clauses={','.join(model.clause_names())} "
+                    f"loadvalue={model.load_value}"
+                )
+        print(f"{len(seen)} model(s) imported")
+        return 0
+    # export
+    if args.models:
+        models = [model for spec in args.models for model in resolve_models(spec)]
+    else:
+        from .models.registry import REGISTRY
+
+        models = [REGISTRY.get(name) for name in REGISTRY.names()]
+    if args.out is not None:
+        import os
+
+        os.makedirs(args.out, exist_ok=True)
+        for model in models:
+            path = os.path.join(args.out, f"{model.name}.model")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(print_model(model))
+        print(f"wrote {len(models)} .model files to {args.out}")
+        return 0
+    for i, model in enumerate(models):
+        if i:
+            print()
+        print(print_model(model), end="")
+    return 0
+
+
 def _cmd_sim(args: argparse.Namespace) -> int:
     from .eval.figure18 import render_figure18, run_figure18
     from .eval.table2 import render_table2, table2
@@ -647,6 +783,7 @@ _COMMANDS = {
     "gen": _cmd_gen,
     "import": _cmd_import,
     "export": _cmd_export,
+    "model": _cmd_model,
     "sim": _cmd_sim,
 }
 
@@ -660,6 +797,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     from .engine import EngineWorkerError
     from .litmus.frontend.parser import LitmusParseError
     from .litmus.frontend.printer import LitmusPrintError
+    from .models.spec import ModelSpecError
 
     try:
         return _COMMANDS[args.command](args)
@@ -672,6 +810,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         EngineWorkerError,
         LitmusParseError,
         LitmusPrintError,
+        ModelSpecError,
         CLIUsageError,
         OSError,
     ) as exc:

@@ -133,6 +133,27 @@ class MemoryModel:
             c.name for c in self.dynamic_clauses
         )
 
+    def to_spec(self) -> str:
+        """This model as canonical ``.model`` text.
+
+        The inverse of :meth:`from_spec`; the round trip is byte-stable
+        (``MemoryModel.from_spec(m.to_spec()).to_spec() == m.to_spec()``).
+        """
+        from ..models.spec import print_model  # cycle-free import
+
+        return print_model(self)
+
+    @classmethod
+    def from_spec(cls, text: str) -> "MemoryModel":
+        """Parse canonical (or hand-written) ``.model`` text into a model.
+
+        Raises :class:`repro.models.spec.ModelSpecError` — with the
+        offending line number — on malformed input.
+        """
+        from ..models.spec import parse_model  # cycle-free import
+
+        return parse_model(text)
+
     def __repr__(self) -> str:
         return f"<MemoryModel {self.name}: {', '.join(self.clause_names())}>"
 

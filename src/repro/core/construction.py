@@ -18,7 +18,7 @@ pick ARM's SALdLdARM and reproduce the RSW/RNSW asymmetry.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Mapping, Optional
 
 from .axiomatic import MemoryModel
 from .ppo import (
@@ -34,7 +34,15 @@ from .ppo import (
     SAStLd,
 )
 
-__all__ = ["ConstraintInfo", "CONSTRAINTS", "assemble", "derivation_chain"]
+__all__ = [
+    "ConstraintInfo",
+    "CONSTRAINTS",
+    "CTOR_KNOBS",
+    "assemble",
+    "assemble_from_knobs",
+    "ctor_name",
+    "derivation_chain",
+]
 
 
 @dataclass(frozen=True)
@@ -189,6 +197,69 @@ def assemble(
         dynamic_clauses=dynamic,
         load_value="gam",
         description=description or f"constructed model ({same_address_loads})",
+    )
+
+
+CTOR_KNOBS: dict[str, tuple[str, ...]] = {
+    "dependency_ordering": ("1", "0"),
+    "speculative_stores": ("0", "1"),
+    "same_address_loads": ("none", "saldld", "arm"),
+}
+"""The construction lattice: every :func:`assemble` decision point, as
+textual knobs.  The first value of each tuple is the default; the knob
+order here is the canonical order ``ctor:``/``space:`` model specs and
+generated variant names list knobs in."""
+
+_BOOL_KNOBS = ("dependency_ordering", "speculative_stores")
+
+
+def ctor_name(knobs: Mapping[str, str]) -> str:
+    """The deterministic name of a constructed variant.
+
+    Lists exactly the knobs given (validated, canonical ``CTOR_KNOBS``
+    order), so equal specs name equal variants:
+    ``ctor(same_address_loads=arm)``, or ``ctor()`` for all-defaults.
+    """
+    parts = [f"{knob}={knobs[knob]}" for knob in CTOR_KNOBS if knob in knobs]
+    return f"ctor({','.join(parts)})"
+
+
+def assemble_from_knobs(
+    knobs: Mapping[str, str],
+    name: str = "",
+    description: str = "",
+) -> MemoryModel:
+    """Run :func:`assemble` from textual ``CTOR_KNOBS`` values.
+
+    This is the introspection hook behind ``ctor:`` and ``space:`` model
+    specs: knobs arrive as strings, are validated against the lattice and
+    converted to :func:`assemble` keywords.  Unset knobs take the lattice
+    default; ``name`` defaults to :func:`ctor_name` of the given knobs.
+
+    Raises:
+        ValueError: an unknown knob, or a value outside the knob's domain.
+    """
+    for knob, value in knobs.items():
+        if knob not in CTOR_KNOBS:
+            raise ValueError(
+                f"unknown construction knob {knob!r}; "
+                f"available: {', '.join(CTOR_KNOBS)}"
+            )
+        if value not in CTOR_KNOBS[knob]:
+            raise ValueError(
+                f"bad value {value!r} for construction knob {knob!r}; "
+                f"expected one of {', '.join(CTOR_KNOBS[knob])}"
+            )
+    resolved = {
+        knob: knobs.get(knob, values[0]) for knob, values in CTOR_KNOBS.items()
+    }
+    return assemble(
+        name or ctor_name(knobs),
+        dependency_ordering=resolved["dependency_ordering"] == "1",
+        speculative_stores=resolved["speculative_stores"] == "1",
+        same_address_loads=resolved["same_address_loads"],
+        description=description
+        or f"constructed variant ({', '.join(f'{k}={v}' for k, v in resolved.items())})",
     )
 
 

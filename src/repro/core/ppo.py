@@ -37,6 +37,11 @@ __all__ = [
     "FenceOrd",
     "PairwiseOrder",
     "SALdLdARM",
+    "STATIC_CLAUSES",
+    "DYNAMIC_CLAUSES",
+    "PARAMETRIC_CLAUSES",
+    "clause_spec",
+    "build_clause",
     "compute_ppo",
     "transitive_closure",
     "project_to_memory",
@@ -346,6 +351,70 @@ class SALdLdARM(DynamicClause):
                     break  # intervening same-address store ends the window
                 if rf_local.get(older.index) != rf_local.get(younger.index):
                     yield (older.index, younger.index)
+
+
+STATIC_CLAUSES: dict[str, type] = {
+    "SAMemSt": SAMemSt,
+    "SAStLd": SAStLd,
+    "SALdLd": SALdLd,
+    "SARmwLd": SARmwLd,
+    "RegRAW": RegRAW,
+    "BrSt": BrSt,
+    "AddrSt": AddrSt,
+    "FenceOrd": FenceOrd,
+}
+"""Zero-argument static clauses by spec name (the Definition 6 vocabulary)."""
+
+DYNAMIC_CLAUSES: dict[str, type] = {
+    "SALdLdARM": SALdLdARM,
+}
+"""Zero-argument execution-dependent clauses by spec name."""
+
+PARAMETRIC_CLAUSES: dict[str, type] = {
+    "PairwiseOrder": PairwiseOrder,
+}
+"""Parameterized clauses by spec name; arguments are validated by
+:func:`build_clause` (``PairwiseOrder`` takes two access kinds, each ``L``
+or ``S``)."""
+
+
+def clause_spec(clause: "Clause | DynamicClause") -> str:
+    """The textual spec of a clause instance (inverse of :func:`build_clause`).
+
+    Zero-argument clauses print as their name; parameterized clauses print
+    as ``Name(arg,...)`` — e.g. ``PairwiseOrder(S,L)``.
+    """
+    if isinstance(clause, PairwiseOrder):
+        return f"PairwiseOrder({clause.pre},{clause.post})"
+    return clause.name
+
+
+def build_clause(name: str, args: tuple[str, ...] = ()) -> "Clause | DynamicClause":
+    """Instantiate the clause named ``name`` with textual arguments.
+
+    This is the introspection hook the ``.model`` spec layer builds on:
+    every clause a model file may mention is constructed through here, so
+    unknown names and malformed arguments fail with a message listing the
+    vocabulary.
+
+    Raises:
+        ValueError: unknown clause name, or arguments that do not fit it.
+    """
+    if name in STATIC_CLAUSES or name in DYNAMIC_CLAUSES:
+        if args:
+            raise ValueError(f"clause {name} takes no arguments, got {args!r}")
+        catalog = STATIC_CLAUSES if name in STATIC_CLAUSES else DYNAMIC_CLAUSES
+        return catalog[name]()
+    if name == "PairwiseOrder":
+        if len(args) != 2 or any(arg not in ("L", "S") for arg in args):
+            raise ValueError(
+                f"PairwiseOrder takes two access kinds (L or S), got {args!r}"
+            )
+        return PairwiseOrder(args[0], args[1])
+    known = sorted({**STATIC_CLAUSES, **DYNAMIC_CLAUSES, **PARAMETRIC_CLAUSES})
+    raise ValueError(
+        f"unknown clause {name!r}; vocabulary: {', '.join(known)}"
+    )
 
 
 def transitive_closure(

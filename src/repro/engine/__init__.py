@@ -48,7 +48,12 @@ are agnostic to where their tests come from: the static catalogue, a
 parsed ``.litmus`` corpus or the cycle generator
 (:mod:`repro.litmus.frontend`) all flow through unchanged — the cache
 keys hash test *content*, so structurally identical generated and
-hand-written tests share entries.  The per-test batch is also the seam
+hand-written tests share entries.  Models flow the same way: a cell's
+model is any :data:`~repro.engine.cells.ModelLike` — a registry name, a
+``.model`` file path, a ``ctor:`` construction spec or a built
+:class:`~repro.core.axiomatic.MemoryModel` — and the cache keys hash
+model *content* (clauses + axioms), so a file-defined model caches
+correctly and an edited one misses.  The per-test batch is also the seam
 for future scale-out: sharding a suite across machines or moving batches
 onto an async executor only replaces the scheduler's pool, not the cells
 or the cache.
@@ -62,9 +67,11 @@ from .cells import (
     CellResult,
     CellSpec,
     EquivSpec,
+    ModelLike,
     OutcomeSpec,
     VerdictSpec,
     evaluate_cell,
+    model_display_name,
 )
 from .scheduler import EngineWorkerError, evaluate_cells
 
@@ -73,11 +80,13 @@ __all__ = [
     "CellResult",
     "CellSpec",
     "EquivSpec",
+    "ModelLike",
     "OutcomeSpec",
     "VerdictSpec",
     "ResultCache",
     "cell_cache_key",
     "evaluate_cell",
     "evaluate_cells",
+    "model_display_name",
     "EngineWorkerError",
 ]

@@ -9,13 +9,22 @@ A *cell* is one entry of a test × model (or test × definition-pair) grid:
 * :class:`EquivSpec` — axiomatic vs operational outcome sets for one
   definition pair (the equivalence checker).
 
-Cells are small frozen dataclasses carrying the :class:`LitmusTest` itself
-(tests are picklable, so cells cross process boundaries untouched), and
-every cell exposes a *descriptor* — a canonical JSON-able structure hashed
-into the on-disk cache key.  Descriptors hash content, not names: two
-structurally identical tests share cache entries, and a model is keyed by
-its clause names, load-value axiom and coherence requirement (clause names
-fully determine clause behaviour in this repository's vocabulary).
+Cells are small frozen dataclasses carrying the :class:`LitmusTest`
+itself and a :data:`ModelLike` — either a model *spec string* (a registry
+name, a ``.model`` file/directory path, a ``ctor:`` construction point;
+anything :func:`repro.models.spec.resolve_model` accepts) or a built
+:class:`~repro.core.axiomatic.MemoryModel`.  Both forms are picklable,
+so cells cross process boundaries untouched and worker processes
+re-resolve spec strings against their own filesystem/registry view.
+
+Every cell exposes a *descriptor* — a canonical JSON-able structure
+hashed into the on-disk cache key.  Descriptors hash content, not names:
+two structurally identical tests share cache entries, and a model is
+keyed by its clause names, load-value axiom and coherence requirement
+(clause names fully determine clause behaviour in this repository's
+vocabulary).  A ``.model``-file cell therefore re-reads the file per
+descriptor: editing the file's content changes the cache key, while
+renaming the model inside it does not.
 """
 
 from __future__ import annotations
@@ -25,14 +34,16 @@ from typing import Optional, Union
 
 from ..core.axiomatic import (
     CandidatePrefix,
+    MemoryModel,
     enumerate_outcomes,
     is_allowed,
 )
 from ..litmus.test import LitmusTest
-from ..models.registry import get_model
+from ..models.spec import resolve_model
 
 __all__ = [
     "ENGINE_VERSION",
+    "ModelLike",
     "VerdictSpec",
     "OutcomeSpec",
     "EquivSpec",
@@ -41,6 +52,7 @@ __all__ = [
     "cell_descriptor",
     "test_descriptor",
     "model_descriptor",
+    "model_display_name",
     "evaluate_cell",
 ]
 
@@ -57,13 +69,36 @@ Version history:
   must miss rather than vouch for the new code path.
 """
 
+ModelLike = Union[str, MemoryModel]
+"""A model spec string (resolved via ``resolve_model``) or a built model."""
+
+
+def model_display_name(model: ModelLike) -> str:
+    """The name a cell reports for its model.
+
+    Spec strings display as themselves (``"gam"``, a file path, a
+    ``ctor:`` spec); built models display their ``name``.
+    """
+    return model if isinstance(model, str) else model.name
+
+
+def _resolve(model: ModelLike) -> MemoryModel:
+    if isinstance(model, MemoryModel):
+        return model
+    return resolve_model(model)
+
 
 @dataclass(frozen=True)
 class VerdictSpec:
     """One (test, model) verdict cell: is the asked outcome allowed?"""
 
     test: LitmusTest
-    model_name: str
+    model: ModelLike
+
+    @property
+    def model_name(self) -> str:
+        """Display name of the cell's model (see :func:`model_display_name`)."""
+        return model_display_name(self.model)
 
 
 @dataclass(frozen=True)
@@ -71,8 +106,13 @@ class OutcomeSpec:
     """One (test, model) outcome-set cell under a projection."""
 
     test: LitmusTest
-    model_name: str
+    model: ModelLike
     project: str = "full"
+
+    @property
+    def model_name(self) -> str:
+        """Display name of the cell's model (see :func:`model_display_name`)."""
+        return model_display_name(self.model)
 
 
 @dataclass(frozen=True)
@@ -114,14 +154,19 @@ def test_descriptor(test: LitmusTest) -> dict:
     }
 
 
-def model_descriptor(model_name: str) -> dict:
-    """Canonical content descriptor of a registry model."""
-    model = get_model(model_name)
+def model_descriptor(model: ModelLike) -> dict:
+    """Canonical content descriptor of a model (name-independent).
+
+    Spec strings are resolved first, so a ``.model`` file's descriptor
+    tracks the file's *current* content — the property the result cache
+    and campaign digests key on.
+    """
+    resolved = _resolve(model)
     return {
-        "clauses": [c.name for c in model.clauses],
-        "dynamic_clauses": [c.name for c in model.dynamic_clauses],
-        "load_value": model.load_value,
-        "requires_coherence": model.requires_coherence,
+        "clauses": [c.name for c in resolved.clauses],
+        "dynamic_clauses": [c.name for c in resolved.dynamic_clauses],
+        "load_value": resolved.load_value,
+        "requires_coherence": resolved.requires_coherence,
     }
 
 
@@ -132,14 +177,14 @@ def cell_descriptor(cell: CellSpec) -> dict:
             "engine_version": ENGINE_VERSION,
             "kind": "verdict",
             "test": test_descriptor(cell.test),
-            "model": model_descriptor(cell.model_name),
+            "model": model_descriptor(cell.model),
         }
     if isinstance(cell, OutcomeSpec):
         return {
             "engine_version": ENGINE_VERSION,
             "kind": "outcomes",
             "test": test_descriptor(cell.test),
-            "model": model_descriptor(cell.model_name),
+            "model": model_descriptor(cell.model),
             "project": cell.project,
         }
     if isinstance(cell, EquivSpec):
@@ -166,16 +211,16 @@ def evaluate_cell(cell: CellSpec, prefix: Optional[CandidatePrefix]) -> CellResu
     prefix alongside the memoized order streams.
     """
     if isinstance(cell, VerdictSpec):
-        return is_allowed(cell.test, get_model(cell.model_name), prefix=prefix)
+        return is_allowed(cell.test, _resolve(cell.model), prefix=prefix)
     if isinstance(cell, OutcomeSpec):
         return enumerate_outcomes(
-            cell.test, get_model(cell.model_name), project=cell.project, prefix=prefix
+            cell.test, _resolve(cell.model), project=cell.project, prefix=prefix
         )
     if isinstance(cell, EquivSpec):
         from ..equivalence.checker import default_pairs  # cycle-free import
 
         axiomatic = enumerate_outcomes(
-            cell.test, get_model(cell.pair_name), project="full", prefix=prefix
+            cell.test, resolve_model(cell.pair_name), project="full", prefix=prefix
         )
         operational = default_pairs()[cell.pair_name][1](cell.test)
         return axiomatic, operational

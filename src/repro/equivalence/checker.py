@@ -26,7 +26,7 @@ from ..core.operational import (
 )
 from ..core.reference_machines import sc_outcomes, tso_outcomes
 from ..litmus.test import LitmusTest, Outcome
-from ..models.registry import get_model
+from ..models.spec import resolve_model
 from .randprog import RandomProgramConfig, random_litmus_test
 
 __all__ = [
@@ -81,14 +81,14 @@ def _axiomatic_fn(model: MemoryModel) -> OutcomeFn:
 def default_pairs() -> dict[str, tuple[OutcomeFn, OutcomeFn]]:
     """The four definition pairs this repository can cross-check."""
     return {
-        "gam": (_axiomatic_fn(get_model("gam")), _machine_fn(GAM_MACHINE)),
-        "gam0": (_axiomatic_fn(get_model("gam0")), _machine_fn(GAM0_MACHINE)),
+        "gam": (_axiomatic_fn(resolve_model("gam")), _machine_fn(GAM_MACHINE)),
+        "gam0": (_axiomatic_fn(resolve_model("gam0")), _machine_fn(GAM0_MACHINE)),
         "sc": (
-            _axiomatic_fn(get_model("sc")),
+            _axiomatic_fn(resolve_model("sc")),
             lambda test: sc_outcomes(test, project="full"),
         ),
         "tso": (
-            _axiomatic_fn(get_model("tso")),
+            _axiomatic_fn(resolve_model("tso")),
             lambda test: tso_outcomes(test, project="full"),
         ),
     }

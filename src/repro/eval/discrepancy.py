@@ -60,20 +60,18 @@ class Discrepancy:
 
 
 def parse_pair(spec: str) -> tuple[str, str]:
-    """Parse a CLI ``--pair`` spec ``a:b`` into a model-name pair.
+    """Parse a CLI ``--pair`` spec ``a:b`` into a model-spec pair.
 
-    Model-name validity is checked at evaluation time (the registry raises
-    a listing ``KeyError``); here only the shape is enforced.
+    Each side is a model spec, and ``ctor:``/``space:`` specs contain a
+    colon of their own, so the split is scheme-aware
+    (:func:`repro.models.spec.split_pair_spec`):
+    ``space:same_address_loads=*:gam`` means the enumerated family vs
+    ``gam``.  Spec validity is checked at resolution time; here only the
+    shape is enforced.
     """
-    a, sep, b = spec.partition(":")
-    a, b = a.strip(), b.strip()
-    if not sep or not a or not b:
-        raise ValueError(
-            f"bad model pair {spec!r}; expected 'weaker:stronger', e.g. wmm:arm"
-        )
-    if a == b:
-        raise ValueError(f"model pair {spec!r} compares a model with itself")
-    return (a, b)
+    from ..models.spec import split_pair_spec  # cycle-free import
+
+    return split_pair_spec(spec)
 
 
 def verdict_table(

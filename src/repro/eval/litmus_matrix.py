@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
-from ..engine import VerdictSpec, evaluate_cells
+from ..engine import ModelLike, VerdictSpec, evaluate_cells
 from ..litmus.registry import all_tests, paper_suite
 from ..litmus.test import LitmusTest
 from .render import render_table
@@ -45,13 +45,16 @@ class VerdictCell:
 
 def litmus_matrix(
     tests: Optional[Iterable[LitmusTest]] = None,
-    model_names: Sequence[str] = _MATRIX_MODELS,
+    model_names: Sequence[ModelLike] = _MATRIX_MODELS,
     jobs: int = 1,
     cache_dir: Optional[str] = None,
 ) -> list[VerdictCell]:
     """Evaluate every (test, model) verdict through the batch engine.
 
     Defaults to the paper's figure tests against the full comparison zoo.
+    ``model_names`` entries are :data:`~repro.engine.ModelLike` — registry
+    names, ``.model`` paths, ``ctor:`` specs or built models — and the
+    resulting cells report :func:`~repro.engine.model_display_name`.
     Candidate prefixes are shared across the model zoo per test; ``jobs``
     fans per-test batches out over a process pool and ``cache_dir``
     enables the on-disk result cache (both leave results identical).
@@ -59,7 +62,7 @@ def litmus_matrix(
     materialized = list(tests) if tests is not None else list(paper_suite())
     asked = [test for test in materialized if test.asked is not None]
     specs = [
-        VerdictSpec(test, name) for test in asked for name in model_names
+        VerdictSpec(test, model) for test in asked for model in model_names
     ]
     verdicts = evaluate_cells(specs, jobs=jobs, cache_dir=cache_dir)
     return [

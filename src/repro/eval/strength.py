@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
-from ..engine import OutcomeSpec, evaluate_cells
+from ..engine import ModelLike, OutcomeSpec, evaluate_cells, model_display_name
 from ..litmus.registry import all_tests
 from ..litmus.test import LitmusTest
 from .render import render_table
@@ -48,35 +48,40 @@ class StrengthMatrix:
 
 def strength_matrix(
     tests: Optional[Iterable[LitmusTest]] = None,
-    model_names: Sequence[str] = _DEFAULT_MODELS,
+    model_names: Sequence[ModelLike] = _DEFAULT_MODELS,
     jobs: int = 1,
     cache_dir: Optional[str] = None,
 ) -> StrengthMatrix:
     """Measure pairwise strength over a suite (default: full catalogue).
 
     Tests whose programs a model cannot evaluate are never the case here —
-    all zoo models share the engine — so the matrix is total.  Outcome
+    all zoo models share the engine — so the matrix is total.
+    ``model_names`` entries are :data:`~repro.engine.ModelLike`; their
+    display names key the matrix and must be pairwise distinct.  Outcome
     sets are enumerated through the batch engine: per-test candidate
     prefixes are shared across ``model_names``, ``jobs`` fans tests out
     over a process pool, ``cache_dir`` makes repeat runs incremental.
     """
     materialized = list(tests) if tests is not None else list(all_tests())
+    display = tuple(model_display_name(model) for model in model_names)
+    if len(set(display)) != len(display):
+        raise ValueError(f"duplicate model display names in {display!r}")
     specs = [
-        OutcomeSpec(test, name, project="full")
+        OutcomeSpec(test, model, project="full")
         for test in materialized
-        for name in model_names
+        for model in model_names
     ]
     results = evaluate_cells(specs, jobs=jobs, cache_dir=cache_dir)
-    outcome_sets: dict[str, list[frozenset]] = {name: [] for name in model_names}
+    outcome_sets: dict[str, list[frozenset]] = {name: [] for name in display}
     for spec, outcomes in zip(specs, results):
         outcome_sets[spec.model_name].append(outcomes)
     relation: dict[tuple[str, str], bool] = {}
-    for a in model_names:
-        for b in model_names:
+    for a in display:
+        for b in display:
             relation[(a, b)] = all(
                 sa <= sb for sa, sb in zip(outcome_sets[a], outcome_sets[b])
             )
-    return StrengthMatrix(tuple(model_names), relation)
+    return StrengthMatrix(display, relation)
 
 
 def render_strength(matrix: StrengthMatrix) -> str:

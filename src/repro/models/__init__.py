@@ -1,5 +1,46 @@
-"""The memory-model zoo: GAM, GAM0, ARM, WMM-like, Alpha-like, SC, TSO."""
+"""The memory-model zoo: GAM, GAM0, ARM, WMM-like, Alpha-like, SC, TSO.
 
-from .registry import MODELS, comparison_models, get_model, model_names
+Models are data here, not just code: every zoo model serializes to the
+``.model`` text format (:mod:`repro.models.spec`), user models register
+into the pluggable :class:`~repro.models.registry.ModelRegistry`, and
+:func:`~repro.models.spec.resolve_model` turns any model spec — a
+registry name, a ``.model`` file or directory, a ``ctor:`` construction
+point or a ``space:`` enumeration — into concrete
+:class:`~repro.core.axiomatic.MemoryModel` objects.
+"""
 
-__all__ = ["MODELS", "get_model", "model_names", "comparison_models"]
+from .registry import (
+    MODELS,
+    REGISTRY,
+    ModelRegistry,
+    comparison_models,
+    get_model,
+    model_names,
+)
+from .spec import (
+    ModelSpecError,
+    load_model_path,
+    parse_model,
+    parse_model_file,
+    print_model,
+    resolve_model,
+    resolve_models,
+    split_pair_spec,
+)
+
+__all__ = [
+    "MODELS",
+    "REGISTRY",
+    "ModelRegistry",
+    "get_model",
+    "model_names",
+    "comparison_models",
+    "ModelSpecError",
+    "load_model_path",
+    "parse_model",
+    "parse_model_file",
+    "print_model",
+    "resolve_model",
+    "resolve_models",
+    "split_pair_spec",
+]

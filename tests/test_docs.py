@@ -53,6 +53,50 @@ class TestCliReference:
         assert gen_cli_docs.main([]) == 0
         assert gen_cli_docs.main(["--check"]) == 0
 
+    def test_model_subcommands_are_documented(self):
+        text = (ROOT / "docs" / "cli.md").read_text(encoding="utf-8")
+        for section in ("model", "model show", "model import", "model export"):
+            assert f"## `repro {section}`" in text
+
+
+class TestModelReference:
+    def test_models_md_is_in_sync(self):
+        gen_model_docs = _load_tool("gen_model_docs")
+        rendered = gen_model_docs.render_model_docs()
+        committed = (ROOT / "docs" / "models.md").read_text(encoding="utf-8")
+        assert committed == rendered, (
+            "docs/models.md is stale; regenerate with "
+            "`PYTHONPATH=src python tools/gen_model_docs.py`"
+        )
+
+    def test_clause_vocabulary_is_covered(self):
+        from repro.core.ppo import (
+            DYNAMIC_CLAUSES,
+            PARAMETRIC_CLAUSES,
+            STATIC_CLAUSES,
+        )
+
+        text = (ROOT / "docs" / "models.md").read_text(encoding="utf-8")
+        for name in (*STATIC_CLAUSES, *DYNAMIC_CLAUSES, *PARAMETRIC_CLAUSES):
+            assert f"`{name}" in text, f"clause {name} missing from models.md"
+
+    def test_ctor_knobs_are_covered(self):
+        from repro.core.construction import CTOR_KNOBS
+
+        text = (ROOT / "docs" / "models.md").read_text(encoding="utf-8")
+        for knob in CTOR_KNOBS:
+            assert f"`{knob}`" in text, f"knob {knob} missing from models.md"
+
+    def test_check_mode_detects_staleness(self, tmp_path, monkeypatch, capsys):
+        gen_model_docs = _load_tool("gen_model_docs")
+        stale = tmp_path / "models.md"
+        stale.write_text("out of date", encoding="utf-8")
+        monkeypatch.setattr(gen_model_docs, "OUTPUT", str(stale))
+        assert gen_model_docs.main(["--check"]) == 1
+        assert "out of sync" in capsys.readouterr().err
+        assert gen_model_docs.main([]) == 0
+        assert gen_model_docs.main(["--check"]) == 0
+
 
 class TestDocsLinks:
     def test_no_broken_relative_links(self):
@@ -71,8 +115,13 @@ class TestDocsLinks:
         ]
 
     def test_docs_tree_exists(self):
-        for name in ("architecture.md", "edges.md", "cli.md"):
+        for name in ("architecture.md", "edges.md", "cli.md", "models.md"):
             assert (ROOT / "docs" / name).is_file()
+
+    def test_models_md_is_link_checked(self):
+        check = _load_tool("check_docs_links")
+        covered = [pathlib.Path(p).name for p in check._documents()]
+        assert "models.md" in covered
 
 
 def _public_members(obj):
@@ -103,6 +152,9 @@ def _public_members(obj):
         "repro.litmus.frontend.suite",
         "repro.campaign",
         "repro.eval.discrepancy",
+        "repro.models",
+        "repro.models.spec",
+        "repro.models.registry",
     ],
 )
 def test_public_api_is_docstringed(module_name):
