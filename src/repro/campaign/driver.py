@@ -307,6 +307,7 @@ def run_hunt(
     num_shards: Optional[int] = None,
     jobs: int = 1,
     resume: bool = False,
+    lint: bool = True,
     log: Optional[Callable[[str], None]] = None,
 ) -> HuntReport:
     """Run (or resume) a differential model-hunt campaign in ``out``.
@@ -327,6 +328,11 @@ def run_hunt(
         jobs: worker processes per shard's engine run.
         resume: require existing state (a guard against typo'd ``--out``
             silently starting a fresh hunt).
+        lint: run the lint pre-flight (:func:`repro.lint.preflight_tests`
+            / :func:`repro.lint.preflight_models`) over the resolved
+            suite and the expanded member models before any campaign
+            state is written; error-level findings abort with
+            :class:`CampaignError`.  ``repro hunt --no-lint`` disables it.
         log: progress sink (e.g. ``print``); ``None`` is silent.
 
     Returns:
@@ -375,6 +381,32 @@ def run_hunt(
     # are part of the campaign's identity via spec.to_json().
     concrete_pairs, lookup = spec.expansion()
     model_names = member_names(concrete_pairs)
+    # Lint pre-flight: refuse tests/models the linter rejects *before*
+    # any campaign state is written, so a bad input cannot poison the
+    # campaign directory.  Warnings pass; only error findings veto.
+    if lint:
+        from ..lint import preflight_models, preflight_tests
+        from ..models.spec import resolve_model
+
+        findings = preflight_tests(tests)
+        findings.extend(
+            preflight_models(
+                [
+                    resolve_model(lookup[name])
+                    if isinstance(lookup[name], str)
+                    else lookup[name]
+                    for name in model_names
+                ]
+            )
+        )
+        if findings:
+            listing = "\n".join(
+                "  " + finding.render() for finding in findings
+            )
+            raise CampaignError(
+                f"lint pre-flight found {len(findings)} error(s) "
+                f"(rerun with --no-lint to override):\n{listing}"
+            )
     if len(concrete_pairs) != len(spec.pairs):
         log(
             f"expanded {len(spec.pairs)} pair spec(s) into "

@@ -17,8 +17,11 @@ Commands:
 * ``synth TEST [-m MODEL]`` — minimal fences restoring SC;
 * ``strength [--suite SUITE] [--jobs N] [--cache DIR]`` — the measured
   model-strength lattice;
-* ``gen [--edges N] [--size M] [--seed S] [-o DIR]`` — cycle-based litmus
-  test generation (diy-style);
+* ``gen [--edges N] [--size M] [--seed S] [--dedupe] [-o DIR]`` —
+  cycle-based litmus test generation (diy-style);
+* ``lint [--suite SUITE] [-m MODEL ...] [--format {text,json}]
+  [--strict] [--edges N]`` — static diagnostics over tests and models
+  (see :mod:`repro.lint` and ``docs/lint.md``);
 * ``import FILE [FILE ...]`` — parse and validate ``.litmus`` files;
 * ``export [--suite SUITE] [-o DIR]`` — print/write tests as ``.litmus``;
 * ``model show MODEL`` / ``model import FILE ...`` /
@@ -253,6 +256,11 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="worker processes per shard (default: 1, serial)",
     )
+    hunt.add_argument(
+        "--no-lint",
+        action="store_true",
+        help="skip the lint pre-flight over the suite and expanded models",
+    )
 
     strength = sub.add_parser(
         "strength", help="measure the model-strength lattice"
@@ -285,7 +293,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="write one .litmus file per test into DIR",
     )
     gen.add_argument(
+        "--dedupe",
+        action="store_true",
+        help="drop structurally isomorphic duplicates (canonical-hash)",
+    )
+    gen.add_argument(
         "--quiet", action="store_true", help="print only the summary line"
+    )
+
+    lint = sub.add_parser(
+        "lint", help="static diagnostics for litmus tests and model specs"
+    )
+    lint.add_argument(
+        "--suite",
+        default="all",
+        metavar="SUITE",
+        help=f"which tests to lint ({suite_help}; default: all)",
+    )
+    lint.add_argument(
+        "-m",
+        "--model",
+        dest="models",
+        action="append",
+        default=None,
+        metavar="MODEL",
+        help=f"model spec to lint ({model_help}, or 'zoo' for every "
+        "registry model; repeatable; default: zoo)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    lint.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero on warnings as well as errors",
+    )
+    lint.add_argument(
+        "--edges",
+        type=int,
+        default=4,
+        metavar="N",
+        help="cycle budget for edge-signature matching (L010); "
+        "0 disables it (default: 4)",
     )
 
     import_cmd = sub.add_parser(
@@ -576,6 +628,7 @@ def _cmd_hunt(args: argparse.Namespace) -> int:
         num_shards=args.shards,
         jobs=args.jobs,
         resume=args.resume,
+        lint=not args.no_lint,
         log=print,
     )
     print()
@@ -606,6 +659,7 @@ def _write_litmus_dir(tests, out_dir: str) -> None:
 
 
 def _cmd_gen(args: argparse.Namespace) -> int:
+    from .lint import dedupe_tests, preflight_tests
     from .litmus.frontend.gen import generate_suite
     from .litmus.frontend.suite import SuiteRegistry
 
@@ -615,6 +669,26 @@ def _cmd_gen(args: argparse.Namespace) -> int:
         )
     except ValueError as exc:  # budget below the minimum cycle length
         raise CLIUsageError(str(exc)) from exc
+    if args.dedupe:
+        tests, dropped = dedupe_tests(tests)
+        for duplicate, kept_name in dropped:
+            print(
+                f"dedupe: dropped {duplicate.name} "
+                f"(isomorphic to {kept_name})"
+            )
+        print(f"dedupe: dropped {len(dropped)} isomorphic duplicate(s)")
+    # Pre-flight: the generator must never emit tests the linter rejects;
+    # an error here is a generator bug, reported rather than registered.
+    errors = preflight_tests(tests)
+    if errors:
+        for finding in errors:
+            print(finding.render(), file=sys.stderr)
+        print(
+            f"error: generated suite fails lint pre-flight "
+            f"({len(errors)} error(s))",
+            file=sys.stderr,
+        )
+        return 2
     # Generated names are deterministic functions of their cycle, so
     # re-registering them (e.g. two gen runs in one process) is idempotent.
     SuiteRegistry().register_all(tests, suite="generated", replace=True)
@@ -631,36 +705,103 @@ def _cmd_gen(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_import(args: argparse.Namespace) -> int:
-    from .litmus.frontend.parser import LitmusParseError, parse_litmus
-    from .litmus.frontend.printer import print_litmus
-    from .litmus.frontend.suite import SuiteRegistry
+def _litmus_header_line(path: str) -> int:
+    """1-based line number of a ``.litmus`` file's ``<arch> <name>`` header.
 
-    # Detached registry: importing a file that shadows a catalogue name is
-    # fine for validation; only duplicate names *within* the import fail.
-    suite = SuiteRegistry(attach=False)
-    names: list[str] = []
-    for path in args.files:
-        try:
-            loaded = suite.load_path(path, suite="imported")
-        except LitmusParseError:
-            raise  # reported with its file/line context
-        except ValueError as exc:  # duplicate name within the import
-            raise CLIUsageError(str(exc)) from exc
-        for name in loaded:
-            test = suite.get(name)
-            # Validate the printer/parser round trip on every import.
-            if parse_litmus(print_litmus(test)) != test:
-                print(f"error: {name!r} does not round-trip", file=sys.stderr)
-                return 2
-            names.append(name)
-            instrs = sum(len(program) for program in test.programs)
-            print(
-                f"imported {test.name:32s} P={test.num_procs} "
-                f"instrs={instrs} asked={test.asked}"
+    The header is the first line that is non-blank after comment
+    stripping — the same rule the parser uses — so ``L011`` diagnostics
+    point at the line that declares the colliding name.
+    """
+    import re
+
+    comment = re.compile(r"\(\*(.*?)\*\)")
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, raw in enumerate(handle, start=1):
+            if comment.sub("", raw).strip():
+                return lineno
+    return 1
+
+
+def _iter_import_files(paths: Sequence[str]) -> list[str]:
+    """Expand import arguments: directories become their sorted ``.litmus``
+    entries, files pass through — mirroring suite-path resolution."""
+    import os
+
+    files: list[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            entries = [
+                os.path.join(path, entry)
+                for entry in sorted(os.listdir(path))
+                if entry.endswith(".litmus")
+            ]
+            if not entries:
+                raise CLIUsageError(f"no .litmus files in directory {path!r}")
+            files.extend(entries)
+        else:
+            files.append(path)
+    return files
+
+
+def _cmd_import(args: argparse.Namespace) -> int:
+    from .lint import make
+    from .litmus.frontend.parser import parse_litmus, parse_litmus_file
+    from .litmus.frontend.printer import print_litmus
+
+    # Importing a file that shadows a catalogue name is fine for
+    # validation; only duplicate names *within* the import fail, with a
+    # file:line diagnostic pointing at both definition sites.
+    seen: dict[str, tuple[str, int]] = {}
+    for path in _iter_import_files(args.files):
+        test = parse_litmus_file(path)  # LitmusParseError reported by main
+        header_line = _litmus_header_line(path)
+        if test.name in seen:
+            first_path, first_line = seen[test.name]
+            finding = make(
+                "L011",
+                test.name,
+                f"test name collision: already imported from "
+                f"{first_path}:{first_line}",
+                source=path,
+                line=header_line,
             )
-    print(f"{len(names)} test(s) imported")
+            print(finding.render(), file=sys.stderr)
+            return 2
+        seen[test.name] = (path, header_line)
+        # Validate the printer/parser round trip on every import.
+        if parse_litmus(print_litmus(test)) != test:
+            print(f"error: {test.name!r} does not round-trip", file=sys.stderr)
+            return 2
+        instrs = sum(len(program) for program in test.programs)
+        print(
+            f"imported {test.name:32s} P={test.num_procs} "
+            f"instrs={instrs} asked={test.asked}"
+        )
+    print(f"{len(seen)} test(s) imported")
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .lint import LintReport, lint_models, lint_tests
+
+    from .models.registry import REGISTRY
+    from .models.spec import resolve_models
+
+    tests = _resolve_suite(args.suite)
+    models = []
+    for spec in args.models or ["zoo"]:
+        if spec == "zoo":
+            models.extend(REGISTRY.get(name) for name in REGISTRY.names())
+        else:
+            models.extend(resolve_models(spec))
+    findings = lint_tests(tests, signature_edges=args.edges)
+    findings.extend(lint_models(models))
+    report = LintReport(findings=tuple(findings))
+    if args.format == "json":
+        print(report.render_json())
+    else:
+        print(report.render_text())
+    return report.exit_status(strict=args.strict)
 
 
 def _cmd_export(args: argparse.Namespace) -> int:
@@ -781,6 +922,7 @@ _COMMANDS = {
     "synth": _cmd_synth,
     "strength": _cmd_strength,
     "gen": _cmd_gen,
+    "lint": _cmd_lint,
     "import": _cmd_import,
     "export": _cmd_export,
     "model": _cmd_model,

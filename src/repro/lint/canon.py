@@ -1,0 +1,259 @@
+"""Canonical litmus-test identity: structural isomorphism hashing.
+
+Two litmus tests are *isomorphic* when one maps onto the other by
+renaming registers (per thread), renaming/relocating symbolic locations,
+renaming branch labels, and permuting whole threads.  Every harness in
+this repository is invariant under those renamings — the engine never
+looks at a register's spelling, a location's address (beyond identity),
+or a thread's position — so isomorphic tests have identical verdicts
+under every model and running more than one of them is pure waste.
+
+:func:`canonical_key` serializes a test into nested tuples with
+first-use register/location numbering and minimizes over thread
+permutations; :func:`canonical_hash` is its sha256.  The hash is the
+repo's dedupe primitive: ``repro gen --dedupe`` and the ``L009``
+duplicate-test diagnostic both key on it, and
+:func:`edge_signature` inverts it against the cycle generator's
+vocabulary to map arbitrary tests back to their diy-style edge
+signature (``sb`` -> ``fencesl+fre+fencesl+fre``-free spellings aside,
+``corr`` -> ``posrr+fre+rfe``).
+
+One deliberate approximation: a ``Const`` operand whose value collides
+with a location address is treated as a location reference.  Litmus
+data values are tiny (0, 1, 2) and locations sit at
+``LOCATION_STRIDE`` multiples, so collisions do not arise in practice.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from functools import lru_cache
+from itertools import permutations
+from typing import Mapping, Optional, Sequence
+
+from ..isa.expr import BinOp, Const, Expr, Reg, UnOp
+from ..isa.instructions import (
+    Branch,
+    Fence,
+    Load,
+    Nop,
+    RegOp,
+    Rmw,
+    Store,
+)
+from ..isa.program import Program
+from ..litmus.test import LitmusTest
+
+__all__ = [
+    "canonical_key",
+    "canonical_hash",
+    "edge_signature",
+    "edge_signature_index",
+    "dedupe_tests",
+    "PERMUTATION_CAP",
+]
+
+PERMUTATION_CAP = 6
+"""Thread-permutation minimization is exact up to this many threads
+(720 orders); beyond it the given thread order is used as-is, trading
+cross-permutation canonicity (never needed for litmus-sized tests) for
+bounded work."""
+
+
+def _serialize_program(
+    program: Program,
+    loc_ids: dict[int, int],
+    location_addrs: frozenset[int],
+) -> tuple[tuple[object, ...], dict[str, int]]:
+    """One program as nested tuples, plus its register-renaming map.
+
+    Registers take ids in first-use order (destination before operands,
+    operands left to right); location addresses take ids from the shared
+    ``loc_ids`` map, which assigns in first-use order across the whole
+    serialization pass (so the ids depend on the thread order being
+    tried, which is exactly what permutation minimization needs).
+    """
+    regs: dict[str, int] = {}
+
+    def rid(name: str) -> int:
+        return regs.setdefault(name, len(regs))
+
+    def lid(addr: int) -> int:
+        return loc_ids.setdefault(addr, len(loc_ids))
+
+    def sexpr(expr: Expr) -> tuple[object, ...]:
+        if isinstance(expr, Reg):
+            return ("r", rid(expr.name))
+        if isinstance(expr, Const):
+            if expr.value in location_addrs:
+                return ("loc", lid(expr.value))
+            return ("c", expr.value)
+        if isinstance(expr, BinOp):
+            return ("b", expr.op, sexpr(expr.left), sexpr(expr.right))
+        if isinstance(expr, UnOp):
+            return ("u", expr.op, sexpr(expr.operand))
+        raise TypeError(f"not an expression: {expr!r}")
+
+    serialized: list[tuple[object, ...]] = []
+    for instr in program:
+        if isinstance(instr, Rmw):
+            serialized.append(
+                ("rmw", rid(instr.dst), sexpr(instr.addr), sexpr(instr.data))
+            )
+        elif isinstance(instr, Load):
+            serialized.append(("ld", rid(instr.dst), sexpr(instr.addr)))
+        elif isinstance(instr, Store):
+            serialized.append(("st", sexpr(instr.addr), sexpr(instr.data)))
+        elif isinstance(instr, RegOp):
+            serialized.append(("op", rid(instr.dst), sexpr(instr.expr)))
+        elif isinstance(instr, Branch):
+            # Label names canonicalize to their target index.
+            serialized.append(
+                ("br", sexpr(instr.cond), program.labels[instr.target])
+            )
+        elif isinstance(instr, Fence):
+            serialized.append(("fence", instr.pre, instr.post))
+        elif isinstance(instr, Nop):
+            serialized.append(("nop",))
+        else:
+            raise TypeError(f"unknown instruction kind: {instr!r}")
+    return tuple(serialized), regs
+
+
+def _serialize_test(
+    test: LitmusTest, order: Sequence[int]
+) -> tuple[object, ...]:
+    """The full serialization of ``test`` with threads in ``order``."""
+    location_addrs = frozenset(test.locations.values())
+    loc_ids: dict[int, int] = {}
+    programs: list[tuple[object, ...]] = []
+    reg_maps: dict[int, dict[str, int]] = {}
+    for original in order:
+        serialized, regs = _serialize_program(
+            test.programs[original], loc_ids, location_addrs
+        )
+        programs.append(serialized)
+        reg_maps[original] = regs
+    # Locations no instruction mentions still need stable ids.
+    for addr in sorted(location_addrs):
+        loc_ids.setdefault(addr, len(loc_ids))
+    new_index = {original: position for position, original in enumerate(order)}
+
+    def map_addr(addr: int) -> tuple[object, ...]:
+        if addr in loc_ids:
+            return ("loc", loc_ids[addr])
+        return ("raw", addr)
+
+    def map_reg(proc: int, reg: str) -> tuple[object, ...]:
+        known = reg_maps.get(proc, {})
+        if reg in known:
+            return ("k", known[reg])
+        return ("?", reg)
+
+    asked: Optional[tuple[object, ...]] = None
+    if test.asked is not None:
+        asked_regs = tuple(
+            sorted(
+                (new_index.get(proc, proc), map_reg(proc, reg), value)
+                for proc, reg, value in test.asked.regs
+            )
+        )
+        asked_mem = tuple(
+            sorted((map_addr(addr), value) for addr, value in test.asked.mem)
+        )
+        asked = (asked_regs, asked_mem)
+    observed = tuple(
+        sorted(
+            (new_index.get(proc, proc), map_reg(proc, reg))
+            for proc, reg in test.observed
+        )
+    )
+    initial = tuple(
+        sorted(
+            (map_addr(addr), value)
+            for addr, value in test.initial_memory.items()
+        )
+    )
+    return (
+        "litmus-v1",
+        len(test.programs),
+        tuple(programs),
+        len(location_addrs),
+        asked,
+        observed,
+        initial,
+    )
+
+
+def canonical_key(test: LitmusTest) -> tuple[object, ...]:
+    """The canonical serialization: minimal over thread permutations.
+
+    Invariant under per-thread register renaming, location renaming and
+    re-addressing, branch-label renaming, and (up to
+    :data:`PERMUTATION_CAP` threads) thread permutation.  Name, source,
+    description and paper-verdict metadata are deliberately excluded:
+    canonical identity is about what the test *does*.
+    """
+    n = test.num_procs
+    if 1 < n <= PERMUTATION_CAP:
+        return min(
+            _serialize_test(test, perm) for perm in permutations(range(n))
+        )
+    return _serialize_test(test, tuple(range(n)))
+
+
+def canonical_hash(test: LitmusTest) -> str:
+    """sha256 hex digest of :func:`canonical_key` — the dedupe primitive."""
+    key = canonical_key(test)
+    return hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
+
+
+@lru_cache(maxsize=None)
+def edge_signature_index(max_edges: int = 4) -> Mapping[str, str]:
+    """Canonical hash -> diy-style cycle name, over the generator's output.
+
+    Enumerates every well-formed cycle up to ``max_edges`` edges, lowers
+    each to a test, and indexes it by canonical hash.  Where distinct
+    cycles lower to isomorphic tests the *first* in enumeration order
+    (shortest, then lexicographic) wins, so signatures are the simplest
+    spelling.  The result is cached per budget; treat it as read-only.
+    """
+    from ..litmus.frontend.gen import cycle_name, cycle_to_test, enumerate_cycles
+
+    index: dict[str, str] = {}
+    for cycle in enumerate_cycles(max_edges):
+        test = cycle_to_test(cycle)
+        index.setdefault(canonical_hash(test), cycle_name(cycle))
+    return index
+
+
+def edge_signature(test: LitmusTest, max_edges: int = 4) -> Optional[str]:
+    """The test's diy-style edge signature, if one exists within budget.
+
+    Returns the cycle name (e.g. ``"posrr+fre+rfe"``) when ``test`` is
+    isomorphic to a generated critical cycle of at most ``max_edges``
+    edges, else ``None``.
+    """
+    return edge_signature_index(max_edges).get(canonical_hash(test))
+
+
+def dedupe_tests(
+    tests: Sequence[LitmusTest],
+) -> tuple[list[LitmusTest], list[tuple[LitmusTest, str]]]:
+    """Drop isomorphic duplicates, keeping the first of each class.
+
+    Returns ``(kept, dropped)`` where ``dropped`` pairs each removed test
+    with the name of the kept representative it duplicates.  Order is
+    preserved, so deduping a deterministic suite is deterministic.
+    """
+    kept: list[LitmusTest] = []
+    dropped: list[tuple[LitmusTest, str]] = []
+    by_hash: dict[str, LitmusTest] = {}
+    for test in tests:
+        digest = canonical_hash(test)
+        if digest in by_hash:
+            dropped.append((test, by_hash[digest].name))
+        else:
+            by_hash[digest] = test
+            kept.append(test)
+    return kept, dropped

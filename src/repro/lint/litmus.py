@@ -1,0 +1,281 @@
+"""Litmus-test analyzers: the ``L###`` diagnostics.
+
+:func:`lint_test` runs the per-test checks (register hygiene, vacuous
+final conditions, location-map consistency); :func:`lint_tests` adds the
+cross-test checks — isomorphic-duplicate detection (``L009``) and
+diy-style edge-signature recovery (``L010``) — both built on the
+canonical hash in :mod:`.canon`.
+
+All checks are *static*: they look only at programs, location maps and
+outcome specs, never at executions, so linting a thousand-test corpus
+costs milliseconds where evaluating it costs minutes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..isa.expr import BinOp, Const, Expr, UnOp, evaluate, registers_read
+from ..isa.instructions import Load, Rmw, Store
+from ..litmus.test import LitmusTest
+from .canon import canonical_hash, edge_signature
+from .diagnostics import Diagnostic, make
+
+__all__ = ["lint_test", "lint_tests", "MIN_SIGNATURE_EDGES"]
+
+MIN_SIGNATURE_EDGES = 3
+"""Smallest meaningful edge-signature budget (the shortest well-formed
+cycle has three edges); budgets below it disable ``L010`` matching."""
+
+
+def _const_leaves(expr: Expr) -> frozenset[int]:
+    """Every ``Const`` value syntactically inside ``expr``."""
+    if isinstance(expr, Const):
+        return frozenset((expr.value,))
+    if isinstance(expr, BinOp):
+        return _const_leaves(expr.left) | _const_leaves(expr.right)
+    if isinstance(expr, UnOp):
+        return _const_leaves(expr.operand)
+    return frozenset()
+
+
+def _addr_candidates(
+    expr: Expr, location_addrs: frozenset[int]
+) -> frozenset[int]:
+    """Statically resolvable addresses an address expression can denote.
+
+    A register-free expression evaluates to exactly one address; an
+    address-dependency expression (``a + r1 - r1``) is approximated by
+    its ``Const`` leaves that are known location addresses.  Returns the
+    empty set when nothing can be resolved (a fully dynamic address).
+    """
+    if not registers_read(expr):
+        return frozenset((evaluate(expr, {}),))
+    return frozenset(
+        value for value in _const_leaves(expr) if value in location_addrs
+    )
+
+
+def lint_test(test: LitmusTest) -> list[Diagnostic]:
+    """Run the per-test litmus checks (``L001``-``L008``) on one test."""
+    findings: list[Diagnostic] = []
+    source = test.source
+    location_addrs = frozenset(test.locations.values())
+
+    written: list[frozenset[str]] = []
+    read: list[frozenset[str]] = []
+    loaded_addrs: set[int] = set()
+    has_dynamic_load = False
+    for program in test.programs:
+        writes: set[str] = set()
+        reads: set[str] = set()
+        for instr in program:
+            writes |= instr.write_set()
+            reads |= instr.read_set()
+            if isinstance(instr, Rmw):
+                # Definition 1 subtracts the dst from an RMW's read set
+                # (the read of the *loaded* value is internal), but for
+                # liveness purposes the data expression does consume it.
+                reads |= registers_read(instr.data)
+            if isinstance(instr, (Load, Rmw)):
+                candidates = _addr_candidates(instr.addr, location_addrs)
+                loaded_addrs |= candidates
+                if not candidates:
+                    # A load whose address is fully dynamic can read any
+                    # location, so "never loaded" claims are unsound.
+                    has_dynamic_load = True
+        written.append(frozenset(writes))
+        read.append(frozenset(reads))
+
+    asked_reg_pairs: frozenset[tuple[int, str]] = frozenset()
+    asked_mem_addrs: frozenset[int] = frozenset()
+    if test.asked is not None:
+        asked_reg_pairs = frozenset(
+            (proc, reg) for proc, reg, _ in test.asked.regs
+        )
+        asked_mem_addrs = frozenset(addr for addr, _ in test.asked.mem)
+
+    # L001 / L002: register hygiene per thread.
+    for proc, program in enumerate(test.programs):
+        for reg in sorted(read[proc] - written[proc]):
+            findings.append(
+                make(
+                    "L001",
+                    test.name,
+                    f"P{proc} reads register {reg!r} which no P{proc} "
+                    "instruction writes (it always holds the initial 0)",
+                    source=source,
+                )
+            )
+        for reg in sorted(written[proc] - read[proc]):
+            if (proc, reg) in test.observed or (proc, reg) in asked_reg_pairs:
+                continue
+            findings.append(
+                make(
+                    "L002",
+                    test.name,
+                    f"P{proc} writes register {reg!r} but nothing reads, "
+                    "observes or asks about it",
+                    source=source,
+                )
+            )
+
+    # L003: stores to locations nothing ever reads or checks.  A fully
+    # dynamic load address makes every location potentially read, so the
+    # check stands down for the whole test.
+    observable = frozenset(loaded_addrs) | asked_mem_addrs
+    for proc, program in enumerate(test.programs):
+        if has_dynamic_load:
+            break
+        for index, instr in enumerate(program):
+            if not isinstance(instr, (Store, Rmw)):
+                continue
+            candidates = _addr_candidates(instr.addr, location_addrs)
+            if candidates and candidates.isdisjoint(observable):
+                names = ", ".join(
+                    test.location_name(addr) for addr in sorted(candidates)
+                )
+                findings.append(
+                    make(
+                        "L003",
+                        test.name,
+                        f"store at P{proc} I{index} writes location "
+                        f"{names} which no thread loads and the asked "
+                        "outcome never checks",
+                        source=source,
+                    )
+                )
+
+    # L004 / L005 / L006: asked-outcome consistency.
+    if test.asked is not None:
+        for proc, reg, value in sorted(test.asked.regs):
+            if not 0 <= proc < test.num_procs:
+                findings.append(
+                    make(
+                        "L006",
+                        test.name,
+                        f"asked outcome names processor P{proc}, but the "
+                        f"test has {test.num_procs} thread(s)",
+                        source=source,
+                    )
+                )
+                continue
+            if reg not in written[proc]:
+                if value != 0:
+                    findings.append(
+                        make(
+                            "L004",
+                            test.name,
+                            f"asked outcome binds P{proc}.{reg}={value}, "
+                            f"but no P{proc} instruction writes {reg!r} — "
+                            "the condition can never hold",
+                            source=source,
+                        )
+                    )
+                else:
+                    findings.append(
+                        make(
+                            "L005",
+                            test.name,
+                            f"asked outcome binds P{proc}.{reg}=0, but no "
+                            f"P{proc} instruction writes {reg!r} — the "
+                            "binding is always true",
+                            source=source,
+                        )
+                    )
+    for proc, reg in sorted(test.observed):
+        if not 0 <= proc < test.num_procs:
+            findings.append(
+                make(
+                    "L006",
+                    test.name,
+                    f"observed projection names processor P{proc}, but "
+                    f"the test has {test.num_procs} thread(s)",
+                    source=source,
+                )
+            )
+
+    # L007: the location map must be injective.
+    by_addr: dict[int, list[str]] = {}
+    for name in sorted(test.locations):
+        by_addr.setdefault(test.locations[name], []).append(name)
+    for addr in sorted(by_addr):
+        names = by_addr[addr]
+        if len(names) > 1:
+            findings.append(
+                make(
+                    "L007",
+                    test.name,
+                    f"locations {', '.join(repr(n) for n in names)} all "
+                    f"map to address {addr:#x} and silently alias",
+                    source=source,
+                )
+            )
+
+    # L008: initial values for addresses nothing can reach.
+    stored_addrs: set[int] = set()
+    for program in test.programs:
+        for instr in program:
+            if isinstance(instr, (Store, Rmw)):
+                stored_addrs |= _addr_candidates(instr.addr, location_addrs)
+    reachable = location_addrs | frozenset(loaded_addrs) | frozenset(stored_addrs)
+    for addr in sorted(test.initial_memory):
+        if addr not in reachable:
+            findings.append(
+                make(
+                    "L008",
+                    test.name,
+                    f"initial value at address {addr:#x} — no location "
+                    "names it and no instruction can access it",
+                    source=source,
+                )
+            )
+    return findings
+
+
+def lint_tests(
+    tests: Sequence[LitmusTest], signature_edges: int = 4
+) -> list[Diagnostic]:
+    """Lint a whole test set: per-test checks plus ``L009``/``L010``.
+
+    Args:
+        tests: the tests, in a deterministic order (the report follows it).
+        signature_edges: cycle budget for ``L010`` edge-signature
+            matching; values below :data:`MIN_SIGNATURE_EDGES` disable it
+            (pre-flight callers do, to stay fast).
+
+    Returns:
+        every finding, grouped per test in input order.
+    """
+    findings: list[Diagnostic] = []
+    first_by_hash: dict[str, LitmusTest] = {}
+    for test in tests:
+        findings.extend(lint_test(test))
+        digest = canonical_hash(test)
+        earlier = first_by_hash.get(digest)
+        if earlier is None:
+            first_by_hash[digest] = test
+        elif earlier.name != test.name:
+            findings.append(
+                make(
+                    "L009",
+                    test.name,
+                    f"structurally isomorphic to {earlier.name!r} "
+                    f"(canonical hash {digest[:12]}); running both "
+                    "doubles work without new information",
+                    source=test.source,
+                )
+            )
+        if signature_edges >= MIN_SIGNATURE_EDGES:
+            signature = edge_signature(test, signature_edges)
+            if signature is not None and signature != test.name:
+                findings.append(
+                    make(
+                        "L010",
+                        test.name,
+                        "matches the generated critical cycle "
+                        f"{signature!r}",
+                        source=test.source,
+                    )
+                )
+    return findings

@@ -98,6 +98,61 @@ class TestModelReference:
         assert gen_model_docs.main(["--check"]) == 0
 
 
+class TestLintReference:
+    def test_lint_md_is_in_sync(self):
+        gen_lint_docs = _load_tool("gen_lint_docs")
+        rendered = gen_lint_docs.render_lint_docs()
+        committed = (ROOT / "docs" / "lint.md").read_text(encoding="utf-8")
+        assert committed == rendered, (
+            "docs/lint.md is stale; regenerate with "
+            "`PYTHONPATH=src python tools/gen_lint_docs.py`"
+        )
+
+    def test_every_code_is_documented(self):
+        from repro.lint import CODES
+
+        text = (ROOT / "docs" / "lint.md").read_text(encoding="utf-8")
+        for code, info in CODES.items():
+            assert f"### `{code}` — {info.title}" in text, (
+                f"diagnostic {code} missing from lint.md"
+            )
+
+    def test_check_mode_detects_staleness(self, tmp_path, monkeypatch, capsys):
+        gen_lint_docs = _load_tool("gen_lint_docs")
+        stale = tmp_path / "lint.md"
+        stale.write_text("out of date", encoding="utf-8")
+        monkeypatch.setattr(gen_lint_docs, "OUTPUT", str(stale))
+        assert gen_lint_docs.main(["--check"]) == 1
+        assert "out of sync" in capsys.readouterr().err
+        assert gen_lint_docs.main([]) == 0
+        assert gen_lint_docs.main(["--check"]) == 0
+
+
+class TestLintReproTool:
+    def test_clean_paths_exit_zero(self, capsys):
+        lint_repro = _load_tool("lint_repro")
+        assert lint_repro.main(["src/repro/lint"]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_violation_fails(self, capsys, tmp_path, monkeypatch):
+        lint_repro = _load_tool("lint_repro")
+        engine_dir = tmp_path / "src" / "repro" / "engine"
+        engine_dir.mkdir(parents=True)
+        (engine_dir / "bad.py").write_text(
+            "import random\nrandom.shuffle(x)\n", encoding="utf-8"
+        )
+        monkeypatch.setattr(lint_repro, "_ROOT", str(tmp_path))
+        assert lint_repro.main(["src"]) == 1
+        assert "R001" in capsys.readouterr().out
+
+    def test_diff_base_runs_r004(self, capsys):
+        # Against HEAD the worktree either bumped ENGINE_VERSION or did
+        # not touch engine paths; both are exit-0 outcomes and exercise
+        # the full git glue.
+        lint_repro = _load_tool("lint_repro")
+        assert lint_repro.main(["--diff-base", "HEAD", "src/repro/lint"]) == 0
+
+
 class TestDocsLinks:
     def test_no_broken_relative_links(self):
         check = _load_tool("check_docs_links")
@@ -115,7 +170,8 @@ class TestDocsLinks:
         ]
 
     def test_docs_tree_exists(self):
-        for name in ("architecture.md", "edges.md", "cli.md", "models.md"):
+        names = ("architecture.md", "edges.md", "cli.md", "models.md", "lint.md")
+        for name in names:
             assert (ROOT / "docs" / name).is_file()
 
     def test_models_md_is_link_checked(self):
@@ -155,6 +211,12 @@ def _public_members(obj):
         "repro.models",
         "repro.models.spec",
         "repro.models.registry",
+        "repro.lint",
+        "repro.lint.diagnostics",
+        "repro.lint.canon",
+        "repro.lint.litmus",
+        "repro.lint.model",
+        "repro.lint.repo",
     ],
 )
 def test_public_api_is_docstringed(module_name):
