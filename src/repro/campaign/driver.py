@@ -19,10 +19,14 @@ interrupt and re-invoke:
    matrix path (:func:`repro.eval.litmus_matrix.litmus_matrix`) so every
    reported witness is *known* to still diverge as a ``.litmus`` file.
 4. **Report** — the ranked report (smallest witness first) is written as
-   ``report.txt`` + ``report.json`` and returned.
+   ``report.txt`` + ``report.json`` and returned, alongside a telemetry
+   run report (``stats.json``, see :mod:`repro.obs`) covering shard
+   timing, cache hit rates and engine dispatch for *this* run.
 
 Every stage is a deterministic function of the campaign spec, so a
-killed-and-rerun campaign reaches byte-identical final reports.
+killed-and-rerun campaign reaches byte-identical final reports (the
+wall-clock sections of ``stats.json`` are per-run by design and excluded
+from that guarantee).
 """
 
 from __future__ import annotations
@@ -42,6 +46,7 @@ from ..litmus.frontend.printer import print_litmus
 from ..litmus.frontend.parser import LitmusParseError, parse_litmus_file
 from ..litmus.frontend.suite import resolve_suite, shard_suite
 from ..litmus.test import LitmusTest
+from ..obs import RunReport, collecting, incr, monotonic, time_block
 from .minimize import (
     divergence_check,
     instruction_count,
@@ -130,13 +135,22 @@ def _evaluate_shards(
     lookup: Mapping[str, ModelLike],
     jobs: int,
     log: Callable[[str], None],
+    heartbeat: bool = False,
 ) -> None:
-    """Run every incomplete shard's verdict grid and persist its record."""
+    """Run every incomplete shard's verdict grid and persist its record.
+
+    ``heartbeat`` adds per-batch progress lines with elapsed wall time to
+    the log — wall-clock text, so it is off unless stats were requested
+    (the default log output stays byte-identical run to run).
+    """
     for index in range(spec.num_shards):
         if campaign.load_shard(index) is not None:
+            incr("campaign.shards.resumed")
             log(f"shard {index + 1}/{spec.num_shards}: already complete")
             continue
         shard_tests = shard_suite(tests, index, spec.num_shards)
+        incr("campaign.shards.evaluated")
+        incr("campaign.tests.evaluated", len(shard_tests))
         log(
             f"shard {index + 1}/{spec.num_shards}: evaluating "
             f"{len(shard_tests)} tests x {len(models)} models"
@@ -147,6 +161,7 @@ def _evaluate_shards(
             for model in models
         ]
         done = {"count": 0}
+        started = monotonic()
 
         def on_batch(test: LitmusTest, results: Sequence[object]) -> None:
             done["count"] += 1
@@ -157,32 +172,39 @@ def _evaluate_shards(
                     for model, allowed in zip(models, results)
                 )
             )
+            if heartbeat:
+                log(
+                    f"  heartbeat: shard {index + 1}/{spec.num_shards} "
+                    f"{done['count']}/{len(shard_tests)} tests "
+                    f"{monotonic() - started:.1f}s elapsed"
+                )
 
-        results = evaluate_cells(
-            cells, jobs=jobs, cache_dir=campaign.cache_dir, on_batch=on_batch
-        )
-        entries = []
-        for position, test in enumerate(shard_tests):
-            verdicts = {
-                model: bool(results[position * len(models) + offset])
-                for offset, model in enumerate(models)
-            }
-            entries.append(
-                {
-                    "name": test.name,
-                    "instrs": instruction_count(test),
-                    "verdicts": verdicts,
-                }
+        with time_block("campaign.shard.seconds"):
+            results = evaluate_cells(
+                cells, jobs=jobs, cache_dir=campaign.cache_dir, on_batch=on_batch
             )
-        campaign.write_shard(
-            index,
-            {
-                "shard": index,
-                "num_shards": spec.num_shards,
-                "tests": entries,
-                "complete": True,
-            },
-        )
+            entries = []
+            for position, test in enumerate(shard_tests):
+                verdicts = {
+                    model: bool(results[position * len(models) + offset])
+                    for offset, model in enumerate(models)
+                }
+                entries.append(
+                    {
+                        "name": test.name,
+                        "instrs": instruction_count(test),
+                        "verdicts": verdicts,
+                    }
+                )
+            campaign.write_shard(
+                index,
+                {
+                    "shard": index,
+                    "num_shards": spec.num_shards,
+                    "tests": entries,
+                    "complete": True,
+                },
+            )
 
 
 def _verdict_table(
@@ -215,55 +237,68 @@ def _minimize_and_write(
     """Minimize each discrepancy, write its witness, re-verify it."""
     records: list[WitnessRecord] = []
     for disc in discrepancies:
-        # Cheap per-discrepancy closure; the engine cache underneath
-        # dedupes the actual verdict work across discrepancies.
-        check = divergence_check(
-            (lookup[disc.pair[0]], lookup[disc.pair[1]]),
-            cache_dir=campaign.cache_dir,
-        )
-        result = minimize_divergence(tests_by_name[disc.test_name], check)
-        stem = _witness_stem(disc)
-        witness = replace(
-            result.test,
-            name=stem,
-            source="hunt minimizer",
-            description=(
-                f"Minimized {disc.pair[0]}/{disc.pair[1]} divergence "
-                f"of {disc.test_name}."
-            ),
-        )
-        path = campaign.witness_dir / f"{stem}.litmus"
-        path.write_text(print_litmus(witness), encoding="utf-8")
-        # Re-check the *file* through the standard matrix path: the
-        # reported witness diverges as .litmus text, not just in memory.
-        reparsed = parse_litmus_file(str(path))
-        cells = litmus_matrix(
-            tests=[reparsed],
-            model_names=[lookup[name] for name in disc.pair],
-            cache_dir=campaign.cache_dir,
-        )
-        verdicts = {cell.model_name: cell.allowed for cell in cells}
-        if verdicts[disc.pair[0]] == verdicts[disc.pair[1]]:
-            raise CampaignError(
-                f"witness {stem!r} lost its divergence in the .litmus round "
-                "trip — this is a bug in the minimizer or printer"
+        with time_block("campaign.minimize.seconds"):
+            records.append(
+                _minimize_one(campaign, disc, tests_by_name, lookup, log)
             )
-        log(
-            f"minimized {disc.describe()} — "
-            f"{result.original_instrs} -> {result.minimized_instrs} instrs "
-            f"({result.checks} checks)"
-        )
-        records.append(
-            WitnessRecord(
-                discrepancy=disc,
-                path=str(path),
-                relpath=str(path.relative_to(campaign.root)),
-                original_instrs=result.original_instrs,
-                minimized_instrs=result.minimized_instrs,
-                checks=result.checks,
-            )
-        )
     return records
+
+
+def _minimize_one(
+    campaign: CampaignDir,
+    disc: Discrepancy,
+    tests_by_name: dict[str, LitmusTest],
+    lookup: Mapping[str, ModelLike],
+    log: Callable[[str], None],
+) -> WitnessRecord:
+    """Minimize one discrepancy, write its witness, re-verify it."""
+    # Cheap per-discrepancy closure; the engine cache underneath
+    # dedupes the actual verdict work across discrepancies.
+    check = divergence_check(
+        (lookup[disc.pair[0]], lookup[disc.pair[1]]),
+        cache_dir=campaign.cache_dir,
+    )
+    result = minimize_divergence(tests_by_name[disc.test_name], check)
+    stem = _witness_stem(disc)
+    witness = replace(
+        result.test,
+        name=stem,
+        source="hunt minimizer",
+        description=(
+            f"Minimized {disc.pair[0]}/{disc.pair[1]} divergence "
+            f"of {disc.test_name}."
+        ),
+    )
+    path = campaign.witness_dir / f"{stem}.litmus"
+    path.write_text(print_litmus(witness), encoding="utf-8")
+    # Re-check the *file* through the standard matrix path: the
+    # reported witness diverges as .litmus text, not just in memory.
+    reparsed = parse_litmus_file(str(path))
+    cells = litmus_matrix(
+        tests=[reparsed],
+        model_names=[lookup[name] for name in disc.pair],
+        cache_dir=campaign.cache_dir,
+    )
+    verdicts = {cell.model_name: cell.allowed for cell in cells}
+    if verdicts[disc.pair[0]] == verdicts[disc.pair[1]]:
+        raise CampaignError(
+            f"witness {stem!r} lost its divergence in the .litmus round "
+            "trip — this is a bug in the minimizer or printer"
+        )
+    log(
+        f"minimized {disc.describe()} — "
+        f"{result.original_instrs} -> {result.minimized_instrs} instrs "
+        f"({result.checks} checks)"
+    )
+    incr("campaign.witnesses")
+    return WitnessRecord(
+        discrepancy=disc,
+        path=str(path),
+        relpath=str(path.relative_to(campaign.root)),
+        original_instrs=result.original_instrs,
+        minimized_instrs=result.minimized_instrs,
+        checks=result.checks,
+    )
 
 
 def _render_report(
@@ -309,6 +344,7 @@ def run_hunt(
     resume: bool = False,
     lint: bool = True,
     log: Optional[Callable[[str], None]] = None,
+    heartbeat: bool = False,
 ) -> HuntReport:
     """Run (or resume) a differential model-hunt campaign in ``out``.
 
@@ -334,10 +370,17 @@ def run_hunt(
             state is written; error-level findings abort with
             :class:`CampaignError`.  ``repro hunt --no-lint`` disables it.
         log: progress sink (e.g. ``print``); ``None`` is silent.
+        heartbeat: emit per-batch heartbeat lines with elapsed wall time
+            (``repro hunt --stats`` turns this on; the default log output
+            carries no wall-clock text and stays byte-identical).
 
     Returns:
         the :class:`HuntReport`; identical for identical specs no matter
-        how many interrupted runs it took to get there.
+        how many interrupted runs it took to get there.  Every run also
+        persists a telemetry report as ``stats.json`` in the campaign
+        directory (see :mod:`repro.obs`), collected into the caller's
+        recorder when one is already active (``--stats``) or a private
+        one otherwise.
     """
     log = log or (lambda message: None)
     campaign = CampaignDir(out)
@@ -424,39 +467,58 @@ def run_hunt(
             f"{done}/{spec.num_shards} shards complete"
         )
 
-    _evaluate_shards(campaign, spec, tests, model_names, lookup, jobs, log)
+    # Telemetry: reuse the CLI's recorder when --stats already installed
+    # one (so the printed report covers the whole hunt), else collect
+    # privately — stats.json is written either way.
+    with collecting(reuse=True) as recorder:
+        _evaluate_shards(
+            campaign, spec, tests, model_names, lookup, jobs, log, heartbeat
+        )
 
-    table = _verdict_table(campaign, spec, tests)
-    discrepancies = mine_discrepancies(table, concrete_pairs)
-    log(f"mined {len(discrepancies)} discrepancies over {len(tests)} tests")
+        with time_block("campaign.mine.seconds"):
+            table = _verdict_table(campaign, spec, tests)
+            discrepancies = mine_discrepancies(table, concrete_pairs)
+        incr("campaign.discrepancies", len(discrepancies))
+        log(f"mined {len(discrepancies)} discrepancies over {len(tests)} tests")
 
-    tests_by_name = {test.name: test for test in tests}
-    witnesses = _minimize_and_write(
-        campaign, discrepancies, tests_by_name, lookup, log
-    )
+        tests_by_name = {test.name: test for test in tests}
+        witnesses = _minimize_and_write(
+            campaign, discrepancies, tests_by_name, lookup, log
+        )
 
-    text = _render_report(spec, len(tests), discrepancies, witnesses)
-    campaign.write_report(
-        text,
-        {
-            "campaign": spec.to_json(),
-            "tests_evaluated": len(tests),
-            "discrepancies": [
-                {
-                    "test": record.discrepancy.test_name,
-                    "pair": list(record.discrepancy.pair),
-                    "verdicts": {
-                        record.discrepancy.pair[0]: record.discrepancy.allowed_a,
-                        record.discrepancy.pair[1]: record.discrepancy.allowed_b,
-                    },
-                    "witness": record.relpath,
-                    "original_instrs": record.original_instrs,
-                    "minimized_instrs": record.minimized_instrs,
-                }
-                for record in witnesses
-            ],
-        },
-    )
+        text = _render_report(spec, len(tests), discrepancies, witnesses)
+        campaign.write_report(
+            text,
+            {
+                "campaign": spec.to_json(),
+                "tests_evaluated": len(tests),
+                "discrepancies": [
+                    {
+                        "test": record.discrepancy.test_name,
+                        "pair": list(record.discrepancy.pair),
+                        "verdicts": {
+                            record.discrepancy.pair[0]: record.discrepancy.allowed_a,
+                            record.discrepancy.pair[1]: record.discrepancy.allowed_b,
+                        },
+                        "witness": record.relpath,
+                        "original_instrs": record.original_instrs,
+                        "minimized_instrs": record.minimized_instrs,
+                    }
+                    for record in witnesses
+                ],
+            },
+        )
+        stats = RunReport.from_snapshot(
+            recorder.snapshot(),
+            command="hunt",
+            meta={
+                "suite": spec.suite,
+                "shards": spec.num_shards,
+                "pairs": [":".join(pair) for pair in spec.pairs],
+                "jobs": jobs,
+            },
+        )
+        campaign.write_stats(stats.to_json())
     return HuntReport(
         spec=spec,
         tests_evaluated=len(tests),

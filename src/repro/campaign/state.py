@@ -13,6 +13,9 @@ A campaign directory is the on-disk identity of a hunt.  Layout::
                              are never re-evaluated)
         witnesses/*.litmus   minimized diverging tests
         report.txt / report.json   the ranked hunt report
+        stats.json           this run's telemetry report (repro.obs
+                             RunReport; overwritten per run, rendered
+                             and diffed by ``repro stats``)
 
 Every JSON file is written through a temp file and an atomic rename, so a
 killed run can never leave a torn record: on restart a shard file either
@@ -351,3 +354,18 @@ class CampaignDir:
         """Persist the final hunt report (text + machine-readable JSON)."""
         _write_json_atomic(self.root / "report.json", data)
         _write_text_atomic(self.root / "report.txt", text)
+
+    @property
+    def stats_path(self) -> pathlib.Path:
+        """Path of the run's telemetry report (``stats.json``)."""
+        return self.root / "stats.json"
+
+    def write_stats(self, payload: dict) -> None:
+        """Persist the run's telemetry report (atomic).
+
+        ``payload`` is a :meth:`repro.obs.RunReport.to_json` document;
+        unlike shard records it describes *this run* (a resumed run
+        overwrites it), so ``repro stats`` can diff a cold run against a
+        warm resume.
+        """
+        _write_json_atomic(self.stats_path, payload)

@@ -22,6 +22,10 @@ Commands:
 * ``lint [--suite SUITE] [-m MODEL ...] [--format {text,json}]
   [--strict] [--edges N]`` — static diagnostics over tests and models
   (see :mod:`repro.lint` and ``docs/lint.md``);
+* ``stats PATH [OTHER] [--format {text,json}]`` — render a telemetry
+  run report (a ``stats.json`` file or a campaign directory), or diff
+  the counters of two (see :mod:`repro.obs` and
+  ``docs/observability.md``);
 * ``import FILE [FILE ...]`` — parse and validate ``.litmus`` files;
 * ``export [--suite SUITE] [-o DIR]`` — print/write tests as ``.litmus``;
 * ``model show MODEL`` / ``model import FILE ...`` /
@@ -50,6 +54,14 @@ shared across the model zoo, ``--jobs N`` fans tests out over a process
 pool, and ``--cache DIR`` keeps a content-hashed on-disk result cache so
 repeated runs are incremental.  The defaults (one process, no cache)
 produce output identical to the historical serial path.
+
+The evaluating commands (``matrix``, ``check``, ``equiv``, ``strength``,
+``hunt``) also take ``--stats [text|json]``: the run executes under an
+active telemetry recorder (:mod:`repro.obs`) and a run report is printed
+to **stderr** after the normal output — stdout stays byte-identical to a
+run without the flag, and ``repro matrix --stats json 2> stats.json``
+captures a machine-readable report.  Without ``--stats`` the recorder is
+the no-op null recorder and the instrumentation costs nothing.
 
 Every command prints plain text and exits non-zero on a failed check, so
 the CLI composes with shell scripts and CI.
@@ -116,6 +128,19 @@ def build_parser() -> argparse.ArgumentParser:
         "or ctor:knob=value,..."
     )
 
+    def add_stats_flag(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument(
+            "--stats",
+            nargs="?",
+            const="text",
+            choices=("text", "json"),
+            default=None,
+            metavar="FORMAT",
+            help="collect engine telemetry and print a run report to "
+            "stderr: text (default when the flag is bare) or json "
+            "(see docs/observability.md); stdout is unchanged",
+        )
+
     list_cmd = sub.add_parser("list", help="list catalogue contents")
     list_cmd.add_argument(
         "what",
@@ -146,6 +171,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="use the abstract machine instead of the axioms (gam/gam0 only)",
     )
+    add_stats_flag(check)
 
     outcomes = sub.add_parser("outcomes", help="enumerate allowed outcomes")
     outcomes.add_argument("test", help="litmus test name")
@@ -188,6 +214,7 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"which test suite to evaluate ({suite_help})",
     )
     add_engine_flags(matrix)
+    add_stats_flag(matrix)
 
     equiv = sub.add_parser("equiv", help="axiomatic vs operational agreement")
     equiv.add_argument("tests", nargs="*", help="test names (default: paper suite)")
@@ -203,6 +230,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated definition pairs (gam,gam0,sc,tso)",
     )
     add_engine_flags(equiv)
+    add_stats_flag(equiv)
 
     synth = sub.add_parser(
         "synth", help="synthesize minimal fences restoring SC"
@@ -261,6 +289,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the lint pre-flight over the suite and expanded models",
     )
+    add_stats_flag(hunt)
 
     strength = sub.add_parser(
         "strength", help="measure the model-strength lattice"
@@ -272,6 +301,7 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"which test suite to measure over ({suite_help})",
     )
     add_engine_flags(strength)
+    add_stats_flag(strength)
 
     gen = sub.add_parser(
         "gen", help="generate litmus tests from critical cycles (diy-style)"
@@ -338,6 +368,28 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="cycle budget for edge-signature matching (L010); "
         "0 disables it (default: 4)",
+    )
+
+    stats_cmd = sub.add_parser(
+        "stats", help="render or diff telemetry run reports (stats.json)"
+    )
+    stats_cmd.add_argument(
+        "path",
+        metavar="PATH",
+        help="a stats.json file, or a campaign directory containing one",
+    )
+    stats_cmd.add_argument(
+        "other",
+        nargs="?",
+        default=None,
+        metavar="OTHER",
+        help="second report; when given, print the counter diff PATH -> OTHER",
+    )
+    stats_cmd.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="single-report rendering (default: text; ignored when diffing)",
     )
 
     import_cmd = sub.add_parser(
@@ -630,6 +682,9 @@ def _cmd_hunt(args: argparse.Namespace) -> int:
         resume=args.resume,
         lint=not args.no_lint,
         log=print,
+        # Heartbeat lines ride with --stats so the default hunt log stays
+        # byte-identical to the pre-telemetry output.
+        heartbeat=args.stats is not None,
     )
     print()
     print(report.text, end="")
@@ -804,6 +859,25 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return report.exit_status(strict=args.strict)
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from .obs import diff_reports, load_report
+
+    # Missing files surface as OSError (handled in main); malformed or
+    # schema-violating payloads are user input, hence CLIUsageError.
+    try:
+        report = load_report(args.path)
+        other = load_report(args.other) if args.other is not None else None
+    except ValueError as exc:
+        raise CLIUsageError(str(exc)) from exc
+    if other is not None:
+        print(diff_reports(report, other), end="")
+    elif args.format == "json":
+        print(report.render_json(), end="")
+    else:
+        print(report.render_text(), end="")
+    return 0
+
+
 def _cmd_export(args: argparse.Namespace) -> int:
     from .litmus.frontend.printer import print_litmus
 
@@ -923,11 +997,43 @@ _COMMANDS = {
     "strength": _cmd_strength,
     "gen": _cmd_gen,
     "lint": _cmd_lint,
+    "stats": _cmd_stats,
     "import": _cmd_import,
     "export": _cmd_export,
     "model": _cmd_model,
     "sim": _cmd_sim,
 }
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    """Run the selected command, under a stats recorder when asked.
+
+    With ``--stats`` the command executes inside
+    :func:`repro.obs.collecting` and its run report is printed to
+    *stderr* after the command's own output — stdout stays byte-for-byte
+    what it would have been without the flag, and shell redirection
+    (``2> stats.json``) captures the report alone.
+    """
+    stats_format = getattr(args, "stats", None)
+    if stats_format is None:
+        return _COMMANDS[args.command](args)
+    from .obs import RunReport, collecting
+
+    with collecting() as recorder:
+        status = _COMMANDS[args.command](args)
+        snapshot = recorder.snapshot()
+    # Only deterministic inputs belong in meta; skip unset optionals.
+    meta = {
+        key: value
+        for key in ("suite", "jobs")
+        if (value := getattr(args, key, None)) is not None
+    }
+    report = RunReport.from_snapshot(snapshot, command=args.command, meta=meta)
+    if stats_format == "json":
+        print(report.render_json(), end="", file=sys.stderr)
+    else:
+        print(report.render_text(), end="", file=sys.stderr)
+    return status
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -942,7 +1048,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     from .models.spec import ModelSpecError
 
     try:
-        return _COMMANDS[args.command](args)
+        return _dispatch(args)
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2

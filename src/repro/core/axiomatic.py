@@ -54,6 +54,8 @@ from ..isa.instructions import (
 )
 from ..isa.program import ExecutedInstr, Program, ProgramError, ProgramRun
 from ..litmus.test import LitmusTest, Outcome
+from ..obs import current as _obs_current
+from ..obs import incr as _obs_incr
 from .events import (
     EventId,
     Execution,
@@ -927,6 +929,24 @@ def _kernel_selected(model: MemoryModel, engine: str) -> bool:
     return kernel_supports(model)
 
 
+def _count_dispatch(model: MemoryModel, kernel_selected: bool) -> None:
+    """Record which enumeration engine answers a query (telemetry only).
+
+    ``kernel`` when the frontier DP serves; ``orders`` when the kernel
+    could serve but was forced off (``engine="orders"`` or
+    ``REPRO_ENUM_KERNEL=0``); ``backtracker`` when the model needs the
+    exact enumerator (dynamic clauses / coherence side condition).
+    """
+    if not _obs_current().active:
+        return
+    if kernel_selected:
+        _obs_incr("engine.dispatch.kernel")
+    elif kernel_supports(model):
+        _obs_incr("engine.dispatch.orders")
+    else:
+        _obs_incr("engine.dispatch.backtracker")
+
+
 def _final_regs_of(runs: Sequence[ProgramRun]) -> dict[tuple[int, str], int]:
     """The fixed final register file of one run combination."""
     return {
@@ -979,6 +999,7 @@ def _kernel_is_allowed(
     """
     for combo_index, runs in enumerate(prefix.combos):
         if not _regs_feasible(runs, outcome):
+            _obs_incr("kernel.prune.regs_infeasible")
             continue
         candidate = prefix.candidate(combo_index, model)
         if candidate is None:
@@ -1013,7 +1034,9 @@ def enumerate_outcomes(
     """
     if project not in ("observed", "full"):
         raise ValueError(f"unknown projection {project!r}")
-    if _kernel_selected(model, engine):
+    kernel_selected = _kernel_selected(model, engine)
+    _count_dispatch(model, kernel_selected)
+    if kernel_selected:
         if prefix is None or not prefix.covers(extra_values):
             prefix = CandidatePrefix(test, extra_values)
         return _kernel_outcomes(prefix, model, project)
@@ -1046,7 +1069,9 @@ def is_allowed(
     extra = set(extra_values)
     extra.update(v for _, _, v in outcome.regs)
     extra.update(v for _, v in outcome.mem)
-    if _kernel_selected(model, engine):
+    kernel_selected = _kernel_selected(model, engine)
+    _count_dispatch(model, kernel_selected)
+    if kernel_selected:
         if prefix is None or not prefix.covers(extra):
             prefix = CandidatePrefix(test, extra)
         return _kernel_is_allowed(prefix, model, outcome)

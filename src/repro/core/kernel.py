@@ -48,6 +48,9 @@ from __future__ import annotations
 import itertools
 from typing import TYPE_CHECKING, Optional
 
+from ..obs import incr as _obs_incr
+from ..obs import observe as _obs_observe
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from .axiomatic import MemoryModel, _Candidate
 
@@ -141,6 +144,7 @@ class FrontierKernel:
         self._init_values = tuple(init_values)
         self._memo: dict[tuple[int, tuple[int, ...]], frozenset] = {}
         self._finals: Optional[frozenset[tuple[int, ...]]] = None
+        _obs_incr("kernel.builds")
 
     def final_memories(self) -> frozenset[tuple[int, ...]]:
         """All final memories (values aligned with :attr:`addresses`) some
@@ -148,6 +152,9 @@ class FrontierKernel:
         LoadValue axiom (the combination is unrealizable)."""
         if self._finals is None:
             self._finals = self._solve(0, self._init_values)
+            # Telemetry at the solve boundary only — never in the DP loop.
+            _obs_incr("kernel.dp.states", len(self._memo))
+            _obs_observe("kernel.frontier.nodes", len(self._finals))
         return self._finals
 
     def as_memory(self, values: tuple[int, ...]) -> dict[int, int]:

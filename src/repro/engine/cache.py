@@ -25,7 +25,17 @@ import tempfile
 from typing import Optional
 
 from ..litmus.test import Outcome
-from .cells import CellResult, CellSpec, EquivSpec, OutcomeSpec, VerdictSpec, cell_descriptor
+from ..obs import current as _obs_current
+from ..obs import incr as _obs_incr
+from .cells import (
+    CellResult,
+    CellSpec,
+    EquivSpec,
+    OutcomeSpec,
+    VerdictSpec,
+    cell_descriptor,
+    model_display_name,
+)
 
 __all__ = ["ResultCache", "cell_cache_key"]
 
@@ -34,6 +44,26 @@ def cell_cache_key(cell: CellSpec) -> str:
     """The SHA-256 content hash identifying a cell's cache entry."""
     descriptor = json.dumps(cell_descriptor(cell), sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(descriptor.encode("utf-8")).hexdigest()
+
+
+def _cell_label(cell: CellSpec) -> str:
+    """The per-model (or per-pair) label cache counters are keyed by."""
+    if isinstance(cell, EquivSpec):
+        return cell.pair_name
+    return model_display_name(cell.model)
+
+
+def _count_lookup(cell: CellSpec, outcome: str) -> None:
+    """Record a cache lookup outcome (``hit``/``miss``) plus its label.
+
+    The label string is only built when a recorder is active, so the
+    disabled path costs one attribute check.
+    """
+    recorder = _obs_current()
+    if not recorder.active:
+        return
+    recorder.incr("engine.cache." + outcome)
+    recorder.incr("engine.cache." + outcome + ".by." + _cell_label(cell))
 
 
 def _outcome_to_json(outcome: Outcome) -> dict:
@@ -104,22 +134,41 @@ class ResultCache:
 
         Unreadable or mismatched entries (e.g. a kind collision from a
         truncated write that slipped past the atomic rename) count as
-        misses rather than errors.
+        misses rather than errors; telemetry additionally counts them as
+        ``engine.cache.stale``.
         """
         path = self._path(cell_cache_key(cell))
         try:
-            payload = json.loads(path.read_text())
-        except (OSError, ValueError):
+            text = path.read_text()
+        except FileNotFoundError:
+            _count_lookup(cell, "miss")
             return None
-        if payload.get("kind") != cell_descriptor(cell)["kind"]:
+        except OSError:
+            _obs_incr("engine.cache.stale")
+            _count_lookup(cell, "miss")
             return None
         try:
-            return _decode(cell, payload)
-        except (KeyError, TypeError, ValueError):
+            payload = json.loads(text)
+        except ValueError:
+            _obs_incr("engine.cache.stale")
+            _count_lookup(cell, "miss")
             return None
+        if payload.get("kind") != cell_descriptor(cell)["kind"]:
+            _obs_incr("engine.cache.stale")
+            _count_lookup(cell, "miss")
+            return None
+        try:
+            result = _decode(cell, payload)
+        except (KeyError, TypeError, ValueError):
+            _obs_incr("engine.cache.stale")
+            _count_lookup(cell, "miss")
+            return None
+        _count_lookup(cell, "hit")
+        return result
 
     def store(self, cell: CellSpec, result: CellResult) -> None:
         """Persist a cell result atomically (temp file + rename)."""
+        _obs_incr("engine.cache.store")
         path = self._path(cell_cache_key(cell))
         payload = json.dumps(_encode(cell, result), sort_keys=True)
         fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp")

@@ -40,6 +40,7 @@ from ..core.axiomatic import (
 )
 from ..litmus.test import LitmusTest
 from ..models.spec import resolve_model
+from ..obs import current as _obs_current
 
 __all__ = [
     "ENGINE_VERSION",
@@ -56,7 +57,7 @@ __all__ = [
     "evaluate_cell",
 ]
 
-ENGINE_VERSION = 2
+ENGINE_VERSION = 3
 """Bumped whenever engine/axiomatic semantics change, invalidating caches.
 
 Version history:
@@ -67,6 +68,11 @@ Version history:
   conditions are answered by the bitmask DP.  Results are parity-tested
   identical, but the enumeration core changed, so pre-kernel cache entries
   must miss rather than vouch for the new code path.
+* 3 — the telemetry subsystem (:mod:`repro.obs`) threaded through cell
+  evaluation, dispatch, the kernel and the cache.  Results are unchanged,
+  but the evaluation internals changed and the R004 invariant ties every
+  engine-path diff to a bump, so older entries re-verify rather than vouch
+  for the instrumented code paths.
 """
 
 ModelLike = Union[str, MemoryModel]
@@ -210,6 +216,15 @@ def evaluate_cell(cell: CellSpec, prefix: Optional[CandidatePrefix]) -> CellResu
     enumerator otherwise, and the kernel's solved DPs live on the shared
     prefix alongside the memoized order streams.
     """
+    recorder = _obs_current()
+    if recorder.active:
+        recorder.incr("engine.cells.evaluated")
+        if isinstance(cell, VerdictSpec):
+            recorder.incr("engine.cells.verdict")
+        elif isinstance(cell, OutcomeSpec):
+            recorder.incr("engine.cells.outcomes")
+        elif isinstance(cell, EquivSpec):
+            recorder.incr("engine.cells.equiv")
     if isinstance(cell, VerdictSpec):
         return is_allowed(cell.test, _resolve(cell.model), prefix=prefix)
     if isinstance(cell, OutcomeSpec):

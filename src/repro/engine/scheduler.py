@@ -12,17 +12,26 @@ scheduling.  Results always come back in the order the cells were given.
 Worker failures are translated, not propagated raw: a
 :class:`~repro.core.axiomatic.DomainOverflowError` raised inside a worker
 is re-raised in the parent with the offending test's name, and any other
-exception surfaces as an :class:`EngineWorkerError` naming the test —
-never a bare pool traceback.
+exception surfaces as an :class:`EngineWorkerError` naming the test and
+carrying the worker-side traceback text — never a bare pool traceback.
+
+Telemetry (:mod:`repro.obs`) crosses the pool boundary the same way the
+errors do — as data: when a recorder is active each worker collects into
+a private recorder and ships its :class:`~repro.obs.StatsSnapshot` back
+inside the ``("ok", ...)`` tuple, and the parent merges them in
+deterministic batch order, so ``--jobs N`` counter totals equal the
+serial run exactly.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import traceback
 from typing import Callable, Iterable, Optional, Sequence
 
 from ..core.axiomatic import CandidatePrefix, DomainOverflowError
 from ..litmus.test import LitmusTest
+from ..obs import collecting, current, incr, observe, time_block
 from .cache import ResultCache, cell_cache_key
 from .cells import CellResult, CellSpec, evaluate_cell, test_descriptor
 
@@ -30,11 +39,24 @@ __all__ = ["EngineWorkerError", "evaluate_cells"]
 
 
 class EngineWorkerError(RuntimeError):
-    """A cell evaluation failed; carries the offending test's name."""
+    """A cell evaluation failed; carries the test name and the worker
+    traceback.
 
-    def __init__(self, test_name: str, message: str) -> None:
-        super().__init__(f"test {test_name!r}: {message}")
+    ``worker_traceback`` is the formatted traceback captured inside the
+    worker process (empty when the failure had none to capture); it is
+    appended to the message so pool failures stay debuggable even though
+    the original frames cannot cross the process boundary.
+    """
+
+    def __init__(
+        self, test_name: str, message: str, worker_traceback: str = ""
+    ) -> None:
+        text = f"test {test_name!r}: {message}"
+        if worker_traceback:
+            text += "\n--- worker traceback ---\n" + worker_traceback.rstrip()
+        super().__init__(text)
         self.test_name = test_name
+        self.worker_traceback = worker_traceback
 
 
 def _group_by_test(
@@ -72,37 +94,54 @@ def _evaluate_batch(
     The prefix is built lazily: a batch fully served from the cache never
     enumerates a single program run.
     """
-    cache = ResultCache(cache_dir) if cache_dir is not None else None
-    prefix: Optional[CandidatePrefix] = None
-    results: list[CellResult] = []
-    for cell in cells:
-        cached = cache.load(cell) if cache is not None else None
-        if cached is not None:
-            results.append(cached)
-            continue
-        if prefix is None:
-            prefix = CandidatePrefix(test)
-        result = evaluate_cell(cell, prefix)
-        if cache is not None:
-            cache.store(cell, result)
-        results.append(result)
-    return results
+    with time_block("engine.batch.seconds"):
+        incr("engine.batches")
+        observe("engine.batch.cells", len(cells))
+        cache = ResultCache(cache_dir) if cache_dir is not None else None
+        prefix: Optional[CandidatePrefix] = None
+        results: list[CellResult] = []
+        for cell in cells:
+            cached = cache.load(cell) if cache is not None else None
+            if cached is not None:
+                results.append(cached)
+                continue
+            if prefix is None:
+                prefix = CandidatePrefix(test)
+            with time_block("engine.cell.seconds"):
+                result = evaluate_cell(cell, prefix)
+            if cache is not None:
+                cache.store(cell, result)
+            results.append(result)
+        return results
 
 
 def _run_batch(payload: tuple) -> tuple:
     """Pool-side batch runner; returns a tagged result, never raises.
 
     Exceptions crossing a pool boundary lose their context and surface as
-    opaque tracebacks, so errors travel back as data and are re-raised
-    with the test name by :func:`evaluate_cells`.
+    opaque tracebacks, so errors travel back as data — tagged tuples
+    carrying the test name, message and formatted worker traceback — and
+    are re-raised by :func:`evaluate_cells`.  When the parent had stats
+    collection on, the batch runs under a private recorder whose snapshot
+    rides back in the ``("ok", results, snapshot)`` tuple.
     """
-    test, cells, cache_dir = payload
+    test, cells, cache_dir, collect_stats = payload
     try:
-        return ("ok", _evaluate_batch(test, cells, cache_dir))
+        if collect_stats:
+            with collecting() as recorder:
+                results = _evaluate_batch(test, cells, cache_dir)
+                snapshot = recorder.snapshot()
+            return ("ok", results, snapshot)
+        return ("ok", _evaluate_batch(test, cells, cache_dir), None)
     except DomainOverflowError as exc:
         return ("domain-overflow", test.name, str(exc))
     except Exception as exc:
-        return ("error", test.name, f"{type(exc).__name__}: {exc}")
+        return (
+            "error",
+            test.name,
+            f"{type(exc).__name__}: {exc}",
+            traceback.format_exc(),
+        )
 
 
 def evaluate_cells(
@@ -130,43 +169,56 @@ def evaluate_cells(
     cells = list(cells)
     if not cells:
         return []
+    recorder = current()
+    recorder.incr("engine.cells.requested", len(cells))
     if cache_dir is not None:
         ResultCache(cache_dir)  # create/validate in the parent: a bad path
         # should fail here with a plain OSError, not as a worker error.
     groups = _group_by_test(cells)
     payloads = [
-        (test, [cells[i] for i in indices], cache_dir)
+        (test, [cells[i] for i in indices], cache_dir, recorder.active)
         for test, indices in groups
     ]
-    if jobs <= 1 or len(payloads) == 1:
-        # In-process: evaluate directly so real exceptions keep their
-        # traceback; only DomainOverflowError gains the test-name prefix.
-        tagged = []
-        for test, batch, cdir in payloads:
-            try:
-                outcome = ("ok", _evaluate_batch(test, batch, cdir))
-            except DomainOverflowError as exc:
-                raise DomainOverflowError(f"test {test.name!r}: {exc}") from exc
-            tagged.append(outcome)
-            if on_batch is not None:
-                on_batch(test, outcome[1])
-    else:
-        with multiprocessing.Pool(processes=min(jobs, len(payloads))) as pool:
-            # imap (not map): same deterministic order, but batches stream
-            # back as they finish so the on_batch hook fires incrementally.
+    with time_block("engine.wall.seconds"):
+        if jobs <= 1 or len(payloads) == 1:
+            # In-process: evaluate directly so real exceptions keep their
+            # traceback; only DomainOverflowError gains the test-name
+            # prefix.  Instrumentation records straight into the parent
+            # recorder — the same code paths the workers run, which is
+            # what makes serial and pooled counter totals identical.
             tagged = []
-            for payload, outcome in zip(payloads, pool.imap(_run_batch, payloads)):
+            for test, batch, cdir, _collect in payloads:
+                try:
+                    outcome = ("ok", _evaluate_batch(test, batch, cdir))
+                except DomainOverflowError as exc:
+                    raise DomainOverflowError(
+                        f"test {test.name!r}: {exc}"
+                    ) from exc
                 tagged.append(outcome)
-                if on_batch is not None and outcome[0] == "ok":
-                    on_batch(payload[0], outcome[1])
+                if on_batch is not None:
+                    on_batch(test, outcome[1])
+        else:
+            with multiprocessing.Pool(processes=min(jobs, len(payloads))) as pool:
+                # imap (not map): same deterministic order, but batches
+                # stream back as they finish so the on_batch hook fires
+                # incrementally.
+                tagged = []
+                for payload, outcome in zip(
+                    payloads, pool.imap(_run_batch, payloads)
+                ):
+                    if outcome[0] == "ok" and outcome[2] is not None:
+                        recorder.merge(outcome[2])
+                    tagged.append(outcome)
+                    if on_batch is not None and outcome[0] == "ok":
+                        on_batch(payload[0], outcome[1])
     results: list[Optional[CellResult]] = [None] * len(cells)
     for (test, indices), outcome in zip(groups, tagged):
         if outcome[0] == "domain-overflow":
             _, test_name, message = outcome
             raise DomainOverflowError(f"test {test_name!r}: {message}")
         if outcome[0] == "error":
-            _, test_name, message = outcome
-            raise EngineWorkerError(test_name, message)
+            _, test_name, message, worker_tb = outcome
+            raise EngineWorkerError(test_name, message, worker_tb)
         for index, result in zip(indices, outcome[1]):
             results[index] = result
     return results

@@ -341,6 +341,20 @@ CODES: dict[str, CodeInfo] = dict(
             "Editing `src/repro/core/kernel.py` while `ENGINE_VERSION = "
             "2` stays unchanged (checked with `--diff-base`).",
         ),
+        _info(
+            "R005",
+            Severity.ERROR,
+            "raw-clock-read",
+            "Engine or campaign code reads a wall clock directly "
+            "(`time.perf_counter()`, `time.time()`, `time.monotonic()`, "
+            "...).  Timing belongs to the telemetry layer: use "
+            "`repro.obs.time_block(name)` (or `repro.obs.monotonic()` "
+            "for ad-hoc elapsed displays) so clock reads cost nothing "
+            "when stats are off and every timing lands in the run "
+            "report.  `src/repro/obs/` itself is the sanctioned wrapper "
+            "and is exempt.",
+            "`start = time.perf_counter()` inside `src/repro/engine/`.",
+        ),
     )
 )
 """The stable diagnostic-code catalog, in code order."""

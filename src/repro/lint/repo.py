@@ -18,7 +18,12 @@ apply exactly where the invariant holds and nowhere else:
   for ``key=lambda ...`` keyword callbacks (they sort in-process and
   never cross the pickle boundary);
 * ``R004`` (version bump) — a pure function over a changed-path list,
-  wired to ``git diff`` by ``tools/lint_repro.py``.
+  wired to ``git diff`` by ``tools/lint_repro.py``;
+* ``R005`` (raw clock reads) — ``src/repro/engine/``,
+  ``src/repro/campaign/``: timing goes through :mod:`repro.obs`
+  (``time_block``/``monotonic``) so it is free when stats are off and
+  always lands in the run report; ``src/repro/obs/`` itself is the
+  sanctioned wrapper and is exempt.
 
 ``tools/lint_repro.py`` is the CLI wrapper; this module stays importable
 and unit-testable without a git checkout.
@@ -37,6 +42,9 @@ __all__ = [
     "RNG_SCOPE",
     "DETERMINISM_SCOPE",
     "LAMBDA_SCOPE",
+    "CLOCK_FUNCTIONS",
+    "CLOCK_SCOPE",
+    "CLOCK_ALLOWLIST",
     "ENGINE_PATHS",
     "ENGINE_VERSION_FILE",
     "lint_source",
@@ -74,6 +82,26 @@ DETERMINISM_SCOPE = RNG_SCOPE + ("src/repro/eval/", "src/repro/lint/")
 
 LAMBDA_SCOPE = ("src/repro/engine/",)
 """Path prefixes where ``R003`` (engine lambdas) applies."""
+
+CLOCK_FUNCTIONS = frozenset(
+    (
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+        "process_time_ns",
+        "time",
+        "time_ns",
+    )
+)
+""":mod:`time` functions that read a clock (the ``R005`` vocabulary)."""
+
+CLOCK_SCOPE = ("src/repro/engine/", "src/repro/campaign/")
+"""Path prefixes where ``R005`` (raw clock reads) applies."""
+
+CLOCK_ALLOWLIST = ("src/repro/obs/",)
+"""Paths exempt from ``R005``: the telemetry layer wraps the clock."""
 
 ENGINE_PATHS = ("src/repro/engine/", "src/repro/core/kernel.py")
 """Paths whose diffs require an ``ENGINE_VERSION`` bump (``R004``)."""
@@ -221,6 +249,52 @@ def _lambda_findings(tree: ast.AST, relpath: str) -> list[Diagnostic]:
     return findings
 
 
+def _raw_clock_findings(tree: ast.AST, relpath: str) -> list[Diagnostic]:
+    """R005: direct ``time.*`` clock reads (or importing those names)."""
+    findings: list[Diagnostic] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "time"
+                and func.attr in CLOCK_FUNCTIONS
+            ):
+                findings.append(
+                    make(
+                        "R005",
+                        relpath,
+                        f"time.{func.attr}() reads the clock directly; "
+                        "use repro.obs.time_block(name) (or "
+                        "repro.obs.monotonic() for elapsed displays) so "
+                        "timing is free when stats are off and lands in "
+                        "the run report",
+                        source=relpath,
+                        line=node.lineno,
+                    )
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module == "time":
+            bad = sorted(
+                alias.name
+                for alias in node.names
+                if alias.name in CLOCK_FUNCTIONS
+            )
+            if bad:
+                findings.append(
+                    make(
+                        "R005",
+                        relpath,
+                        f"`from time import {', '.join(bad)}` bypasses "
+                        "the telemetry layer; use "
+                        "repro.obs.time_block/monotonic instead",
+                        source=relpath,
+                        line=node.lineno,
+                    )
+                )
+    return findings
+
+
 def lint_source(text: str, relpath: str) -> list[Diagnostic]:
     """Run every applicable AST check on one file's source text.
 
@@ -239,6 +313,7 @@ def lint_source(text: str, relpath: str) -> list[Diagnostic]:
         _in_scope(relpath, RNG_SCOPE)
         or _in_scope(relpath, DETERMINISM_SCOPE)
         or _in_scope(relpath, LAMBDA_SCOPE)
+        or _in_scope(relpath, CLOCK_SCOPE)
     )
     if not applicable:
         return findings
@@ -249,6 +324,10 @@ def lint_source(text: str, relpath: str) -> list[Diagnostic]:
         findings.extend(_set_iteration_findings(tree, relpath))
     if _in_scope(relpath, LAMBDA_SCOPE):
         findings.extend(_lambda_findings(tree, relpath))
+    if _in_scope(relpath, CLOCK_SCOPE) and not _in_scope(
+        relpath, CLOCK_ALLOWLIST
+    ):
+        findings.extend(_raw_clock_findings(tree, relpath))
     return findings
 
 

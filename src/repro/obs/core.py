@@ -1,0 +1,203 @@
+"""Recorder core: counters, timers and snapshots for engine telemetry.
+
+One module-global recorder (a :class:`NullRecorder` by default) receives
+every :func:`incr`/:func:`observe` call from instrumented code.  When
+stats collection is off the null recorder makes each call a no-op —
+:func:`time_block` does not even read the clock — so the instrumented
+hot paths pay nothing.  :func:`collecting` installs a live
+:class:`StatsRecorder` for the duration of a ``with`` block and restores
+the previous recorder on exit.
+
+State crosses process boundaries as a :class:`StatsSnapshot`: a plain
+picklable dataclass of counter totals and observation series.  Pool
+workers collect into a private recorder and ship the snapshot back in
+their ``_run_batch`` return value; the parent merges it, so ``--jobs N``
+counter totals equal the serial run exactly.
+
+Metric names must be declared in :mod:`repro.obs.registry`; recording an
+unknown name raises :class:`ValueError`.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Union
+
+from .registry import metric_for
+
+__all__ = [
+    "StatsSnapshot",
+    "StatsRecorder",
+    "NullRecorder",
+    "current",
+    "install",
+    "collecting",
+    "incr",
+    "observe",
+    "time_block",
+    "monotonic",
+]
+
+_KNOWN_NAMES: set[str] = set()
+
+
+def _check_name(name: str) -> None:
+    """Reject metric names absent from the registry (cached)."""
+    if name in _KNOWN_NAMES:
+        return
+    if metric_for(name) is None:
+        raise ValueError(
+            f"unknown metric name {name!r}; declare it in repro.obs.registry"
+        )
+    _KNOWN_NAMES.add(name)
+
+
+@dataclass
+class StatsSnapshot:
+    """Picklable point-in-time copy of a recorder's state.
+
+    Attributes:
+        counters: metric name -> integer total.
+        series: metric name -> list of float observations (timers record
+            elapsed seconds, histograms record raw values).
+    """
+
+    counters: dict[str, int] = field(default_factory=dict)
+    series: dict[str, list[float]] = field(default_factory=dict)
+
+
+class StatsRecorder:
+    """Live recorder accumulating counters and observation series."""
+
+    active = True
+
+    def __init__(self) -> None:
+        self._counters: dict[str, int] = {}
+        self._series: dict[str, list[float]] = {}
+
+    def incr(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to the counter ``name``."""
+        _check_name(name)
+        self._counters[name] = self._counters.get(name, 0) + n
+
+    def observe(self, name: str, value: float) -> None:
+        """Append one observation to the series ``name``."""
+        _check_name(name)
+        self._series.setdefault(name, []).append(float(value))
+
+    def merge(self, snapshot: StatsSnapshot) -> None:
+        """Fold a (typically worker-side) snapshot into this recorder."""
+        for name, total in snapshot.counters.items():
+            _check_name(name)
+            self._counters[name] = self._counters.get(name, 0) + total
+        for name, values in snapshot.series.items():
+            _check_name(name)
+            self._series.setdefault(name, []).extend(values)
+
+    def snapshot(self) -> StatsSnapshot:
+        """Copy the current state into a picklable snapshot."""
+        return StatsSnapshot(
+            counters=dict(self._counters),
+            series={name: list(values) for name, values in self._series.items()},
+        )
+
+
+class NullRecorder:
+    """Inactive recorder: every operation is a no-op (the default)."""
+
+    active = False
+
+    def incr(self, name: str, n: int = 1) -> None:
+        """Discard the increment."""
+
+    def observe(self, name: str, value: float) -> None:
+        """Discard the observation."""
+
+    def merge(self, snapshot: StatsSnapshot) -> None:
+        """Discard the snapshot."""
+
+    def snapshot(self) -> StatsSnapshot:
+        """Return an empty snapshot."""
+        return StatsSnapshot()
+
+
+Recorder = Union[StatsRecorder, NullRecorder]
+
+_NULL = NullRecorder()
+_current: Recorder = _NULL
+
+
+def current() -> Recorder:
+    """The recorder instrumented code is currently feeding."""
+    return _current
+
+
+def install(recorder: Optional[Recorder]) -> Recorder:
+    """Make ``recorder`` current (``None`` restores the null recorder).
+
+    Returns the previously installed recorder so callers can restore it.
+    """
+    global _current
+    previous = _current
+    _current = _NULL if recorder is None else recorder
+    return previous
+
+
+@contextmanager
+def collecting(reuse: bool = False) -> Iterator[Recorder]:
+    """Install a fresh :class:`StatsRecorder` for the ``with`` block.
+
+    With ``reuse=True`` an already-active recorder is yielded as-is
+    instead of being shadowed — used by layers (like the campaign
+    driver) that want stats of their own but must share the recorder
+    when the CLI already turned collection on.
+    """
+    if reuse and _current.active:
+        yield _current
+        return
+    recorder = StatsRecorder()
+    previous = install(recorder)
+    try:
+        yield recorder
+    finally:
+        install(previous)
+
+
+def incr(name: str, n: int = 1) -> None:
+    """Add ``n`` to counter ``name`` on the current recorder."""
+    _current.incr(name, n)
+
+
+def observe(name: str, value: float) -> None:
+    """Append ``value`` to series ``name`` on the current recorder."""
+    _current.observe(name, value)
+
+
+def monotonic() -> float:
+    """Monotonic clock read for instrumented code.
+
+    Engine and campaign modules must use this (or :func:`time_block`)
+    instead of calling :mod:`time` directly — lint rule R005 enforces
+    it, so elapsed-time logic stays visible to the telemetry layer.
+    """
+    return _time.perf_counter()
+
+
+@contextmanager
+def time_block(name: str) -> Iterator[None]:
+    """Time the ``with`` block into timer series ``name``.
+
+    When no recorder is active the clock is never read — the disabled
+    path costs one attribute check.
+    """
+    recorder = _current
+    if not recorder.active:
+        yield
+        return
+    start = _time.perf_counter()
+    try:
+        yield
+    finally:
+        recorder.observe(name, _time.perf_counter() - start)

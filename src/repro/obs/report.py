@@ -1,0 +1,317 @@
+"""Run reports: the stable JSON artifact built from a stats snapshot.
+
+A :class:`RunReport` freezes one run's telemetry into a JSON document
+with schema version :data:`REPORT_SCHEMA`::
+
+    {
+      "schema": 1,
+      "command": "hunt",
+      "meta": {...},                  # free-form, deterministic inputs only
+      "counters": {"name": int, ...}, # sorted, deterministic
+      "timers": {"name": {"count", "total_s", "p50_s", "p95_s", "max_s"}},
+      "histograms": {"name": {"count", "p50", "p95", "max"}}
+    }
+
+The ``counters`` section is the deterministic contract: for a fixed
+workload it is byte-identical run to run (and serial vs ``--jobs N``).
+``timers``/``histograms`` carry wall-clock noise and are excluded from
+comparisons — :func:`diff_reports` diffs counters only and shows timer
+totals as context.  ``repro hunt`` persists a report as ``stats.json``
+in the campaign directory; ``repro stats`` renders and diffs them, and
+the CI stats-smoke step validates ``--stats json`` output with
+:func:`validate_report`.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from .core import StatsSnapshot
+from .registry import metric_for
+
+__all__ = [
+    "REPORT_SCHEMA",
+    "RunReport",
+    "validate_report",
+    "diff_reports",
+    "load_report",
+]
+
+REPORT_SCHEMA = 1
+
+_TIMER_KEYS = ("count", "total_s", "p50_s", "p95_s", "max_s")
+_HISTOGRAM_KEYS = ("count", "p50", "p95", "max")
+
+
+def _percentile(ordered: list[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted non-empty list."""
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+def _summarize(values: list[float], timer: bool) -> dict[str, float]:
+    ordered = sorted(values)
+    summary: dict[str, float] = {"count": len(ordered)}
+    if timer:
+        summary["total_s"] = round(sum(ordered), 6)
+        summary["p50_s"] = round(_percentile(ordered, 0.50), 6)
+        summary["p95_s"] = round(_percentile(ordered, 0.95), 6)
+        summary["max_s"] = round(ordered[-1], 6)
+    else:
+        summary["p50"] = round(_percentile(ordered, 0.50), 6)
+        summary["p95"] = round(_percentile(ordered, 0.95), 6)
+        summary["max"] = round(ordered[-1], 6)
+    return summary
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """One run's telemetry, frozen into the stable report schema.
+
+    Attributes:
+        command: the CLI command (or caller label) that produced the run.
+        counters: sorted name -> total (the deterministic section).
+        timers: name -> count/total_s/p50_s/p95_s/max_s summary.
+        histograms: name -> count/p50/p95/max summary.
+        meta: free-form context (suite, shards, ...); keep deterministic.
+    """
+
+    command: str
+    counters: dict[str, int] = field(default_factory=dict)
+    timers: dict[str, dict[str, float]] = field(default_factory=dict)
+    histograms: dict[str, dict[str, float]] = field(default_factory=dict)
+    meta: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        snapshot: StatsSnapshot,
+        command: str,
+        meta: Optional[Mapping] = None,
+    ) -> "RunReport":
+        """Build a report from a recorder snapshot.
+
+        Counters are sorted by name; each series becomes a timer or
+        histogram summary according to its registry kind (undeclared
+        series fall back to histogram rendering).
+        """
+        timers: dict[str, dict[str, float]] = {}
+        histograms: dict[str, dict[str, float]] = {}
+        for name in sorted(snapshot.series):
+            values = snapshot.series[name]
+            if not values:
+                continue
+            spec = metric_for(name)
+            if spec is not None and spec.kind == "timer":
+                timers[name] = _summarize(values, timer=True)
+            else:
+                histograms[name] = _summarize(values, timer=False)
+        return cls(
+            command=command,
+            counters=dict(sorted(snapshot.counters.items())),
+            timers=timers,
+            histograms=histograms,
+            meta=dict(meta or {}),
+        )
+
+    def to_json(self) -> dict:
+        """The schema-versioned JSON payload (see module docstring)."""
+        return {
+            "schema": REPORT_SCHEMA,
+            "command": self.command,
+            "meta": self.meta,
+            "counters": self.counters,
+            "timers": self.timers,
+            "histograms": self.histograms,
+        }
+
+    @classmethod
+    def from_json(cls, payload: object) -> "RunReport":
+        """Rebuild a report from its JSON payload.
+
+        Raises :class:`ValueError` listing every schema problem found by
+        :func:`validate_report` when the payload does not conform.
+        """
+        problems = validate_report(payload)
+        if problems:
+            raise ValueError(
+                "invalid run report: " + "; ".join(problems)
+            )
+        assert isinstance(payload, dict)
+        return cls(
+            command=payload["command"],
+            counters=dict(sorted(payload["counters"].items())),
+            timers=dict(payload["timers"]),
+            histograms=dict(payload["histograms"]),
+            meta=dict(payload["meta"]),
+        )
+
+    def render_json(self) -> str:
+        """Deterministically serialized payload (sorted keys, indented)."""
+        return json.dumps(self.to_json(), indent=2, sort_keys=True) + "\n"
+
+    def render_text(self) -> str:
+        """Human-readable rendering of the report."""
+        lines = [f"run report — command={self.command} (schema {REPORT_SCHEMA})"]
+        if self.meta:
+            pairs = " ".join(
+                f"{key}={self.meta[key]}" for key in sorted(self.meta)
+            )
+            lines.append(f"meta: {pairs}")
+        width = max(
+            (len(name) for name in (*self.counters, *self.timers, *self.histograms)),
+            default=0,
+        )
+        lines.append("counters:")
+        if not self.counters:
+            lines.append("  (none)")
+        for name, total in self.counters.items():
+            lines.append(f"  {name.ljust(width)}  {total}")
+        lines.append("timers (seconds):")
+        if not self.timers:
+            lines.append("  (none)")
+        for name, s in self.timers.items():
+            lines.append(
+                f"  {name.ljust(width)}  count={s['count']:.0f}"
+                f" total={s['total_s']:.3f} p50={s['p50_s']:.4f}"
+                f" p95={s['p95_s']:.4f} max={s['max_s']:.4f}"
+            )
+        lines.append("histograms:")
+        if not self.histograms:
+            lines.append("  (none)")
+        for name, s in self.histograms.items():
+            lines.append(
+                f"  {name.ljust(width)}  count={s['count']:.0f}"
+                f" p50={s['p50']:g} p95={s['p95']:g} max={s['max']:g}"
+            )
+        utilization = self._utilization()
+        if utilization is not None:
+            busy, wall = utilization
+            ratio = busy / wall if wall else 0.0
+            lines.append(
+                f"worker utilization: {busy:.3f}s busy over {wall:.3f}s wall"
+                f" ({ratio:.2f}x)"
+            )
+        return "\n".join(lines) + "\n"
+
+    def _utilization(self) -> Optional[tuple[float, float]]:
+        batch = self.timers.get("engine.batch.seconds")
+        wall = self.timers.get("engine.wall.seconds")
+        if batch is None or wall is None or not wall["total_s"]:
+            return None
+        return batch["total_s"], wall["total_s"]
+
+
+def _check_summary(
+    section: str, name: str, entry: object, keys: tuple[str, ...], problems: list[str]
+) -> None:
+    if not isinstance(entry, dict):
+        problems.append(f"{section}[{name!r}] is not an object")
+        return
+    for key in keys:
+        value = entry.get(key)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            problems.append(f"{section}[{name!r}].{key} is not a number")
+
+
+def validate_report(payload: object) -> list[str]:
+    """Check a JSON payload against the documented report schema.
+
+    Returns a list of human-readable problems (empty when valid).  Every
+    counter/timer/histogram name must resolve in the metric registry
+    with the matching kind — the schema is closed, like lint codes.
+    """
+    if not isinstance(payload, dict):
+        return ["report is not a JSON object"]
+    problems: list[str] = []
+    if payload.get("schema") != REPORT_SCHEMA:
+        problems.append(
+            f"schema is {payload.get('schema')!r}, expected {REPORT_SCHEMA}"
+        )
+    if not isinstance(payload.get("command"), str):
+        problems.append("command is not a string")
+    if not isinstance(payload.get("meta"), dict):
+        problems.append("meta is not an object")
+    counters = payload.get("counters")
+    if not isinstance(counters, dict):
+        problems.append("counters is not an object")
+    else:
+        for name, total in counters.items():
+            spec = metric_for(name)
+            if spec is None or spec.kind != "counter":
+                problems.append(f"unknown counter {name!r}")
+            if not isinstance(total, int) or isinstance(total, bool) or total < 0:
+                problems.append(f"counter {name!r} is not a non-negative integer")
+    for section, keys, kind in (
+        ("timers", _TIMER_KEYS, "timer"),
+        ("histograms", _HISTOGRAM_KEYS, "histogram"),
+    ):
+        entries = payload.get(section)
+        if not isinstance(entries, dict):
+            problems.append(f"{section} is not an object")
+            continue
+        for name, entry in entries.items():
+            spec = metric_for(name)
+            if section == "timers" and (spec is None or spec.kind != kind):
+                problems.append(f"unknown timer {name!r}")
+            _check_summary(section, name, entry, keys, problems)
+    return problems
+
+
+def diff_reports(a: "RunReport", b: "RunReport") -> str:
+    """Render the counter-level difference between two reports.
+
+    Only counters are compared — timings vary run to run and are shown
+    as context (timer totals), never as differences.
+    """
+    lines = [f"stats diff — A: command={a.command}  B: command={b.command}"]
+    names = sorted(set(a.counters) | set(b.counters))
+    width = max((len(name) for name in names), default=0)
+    changed = []
+    for name in names:
+        left = a.counters.get(name, 0)
+        right = b.counters.get(name, 0)
+        if left != right:
+            delta = right - left
+            changed.append(
+                f"  {name.ljust(width)}  {left} -> {right} ({delta:+d})"
+            )
+    lines.append("counters:")
+    if changed:
+        lines.extend(changed)
+    else:
+        lines.append("  (identical)")
+    lines.append(
+        "timings are run-dependent and excluded from the comparison;"
+        " totals for context:"
+    )
+    timer_names = sorted(set(a.timers) | set(b.timers))
+    if not timer_names:
+        lines.append("  (none)")
+    for name in timer_names:
+        left_s = a.timers.get(name, {}).get("total_s", 0.0)
+        right_s = b.timers.get(name, {}).get("total_s", 0.0)
+        lines.append(f"  {name.ljust(width)}  {left_s:.3f}s / {right_s:.3f}s")
+    return "\n".join(lines) + "\n"
+
+
+def load_report(path: str) -> RunReport:
+    """Load a run report from a ``stats.json`` file or a campaign dir.
+
+    A directory argument resolves to ``<dir>/stats.json``.  Raises
+    :class:`OSError` when the file is missing and :class:`ValueError`
+    when the payload is not valid JSON or fails schema validation.
+    """
+    target = path
+    if os.path.isdir(target):
+        target = os.path.join(target, "stats.json")
+    with open(target, "r", encoding="utf-8") as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{target}: not valid JSON ({exc})") from exc
+    return RunReport.from_json(payload)

@@ -128,6 +128,37 @@ class TestLintReference:
         assert gen_lint_docs.main(["--check"]) == 0
 
 
+class TestObsReference:
+    def test_observability_md_is_in_sync(self):
+        gen_obs_docs = _load_tool("gen_obs_docs")
+        rendered = gen_obs_docs.render_obs_docs()
+        committed = (ROOT / "docs" / "observability.md").read_text(
+            encoding="utf-8"
+        )
+        assert committed == rendered, (
+            "docs/observability.md is stale; regenerate with "
+            "`PYTHONPATH=src python tools/gen_obs_docs.py`"
+        )
+
+    def test_every_metric_is_documented(self):
+        from repro.obs import METRICS
+
+        text = (ROOT / "docs" / "observability.md").read_text(encoding="utf-8")
+        for name, spec in METRICS.items():
+            shown = f"`{name}.<label>`" if spec.dynamic else f"`{name}`"
+            assert shown in text, f"metric {name} missing from observability.md"
+
+    def test_check_mode_detects_staleness(self, tmp_path, monkeypatch, capsys):
+        gen_obs_docs = _load_tool("gen_obs_docs")
+        stale = tmp_path / "observability.md"
+        stale.write_text("out of date", encoding="utf-8")
+        monkeypatch.setattr(gen_obs_docs, "OUTPUT", str(stale))
+        assert gen_obs_docs.main(["--check"]) == 1
+        assert "out of sync" in capsys.readouterr().err
+        assert gen_obs_docs.main([]) == 0
+        assert gen_obs_docs.main(["--check"]) == 0
+
+
 class TestLintReproTool:
     def test_clean_paths_exit_zero(self, capsys):
         lint_repro = _load_tool("lint_repro")
@@ -170,7 +201,14 @@ class TestDocsLinks:
         ]
 
     def test_docs_tree_exists(self):
-        names = ("architecture.md", "edges.md", "cli.md", "models.md", "lint.md")
+        names = (
+            "architecture.md",
+            "edges.md",
+            "cli.md",
+            "models.md",
+            "lint.md",
+            "observability.md",
+        )
         for name in names:
             assert (ROOT / "docs" / name).is_file()
 
@@ -217,6 +255,10 @@ def _public_members(obj):
         "repro.lint.litmus",
         "repro.lint.model",
         "repro.lint.repo",
+        "repro.obs",
+        "repro.obs.core",
+        "repro.obs.registry",
+        "repro.obs.report",
     ],
 )
 def test_public_api_is_docstringed(module_name):

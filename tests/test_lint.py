@@ -419,6 +419,32 @@ class TestRepoCodes:
         with pytest.raises(SyntaxError):
             lint_source("def broken(:\n", self.ENGINE)
 
+    def test_r005_raw_clock_call(self):
+        src = "import time\nstart = time.perf_counter()\n"
+        findings = lint_source(src, self.ENGINE)
+        assert _codes(findings) == ["R005"]
+        assert "time_block" in findings[0].message
+        assert "R005" in _codes(
+            lint_source(
+                "import time\nnow = time.time()\n",
+                "src/repro/campaign/driver.py",
+            )
+        )
+
+    def test_r005_from_import(self):
+        src = "from time import perf_counter, sleep\n"
+        findings = lint_source(src, self.ENGINE)
+        assert _codes(findings) == ["R005"]
+        assert "perf_counter" in findings[0].message
+
+    def test_r005_obs_wrapper_and_non_clock_time_are_fine(self):
+        # sleep is not a clock read; the obs package is the sanctioned
+        # wrapper; out-of-scope files are silent.
+        assert lint_source("import time\ntime.sleep(1)\n", self.ENGINE) == []
+        src = "import time\nstart = time.perf_counter()\n"
+        assert lint_source(src, "src/repro/obs/core.py") == []
+        assert lint_source(src, "src/repro/analysis.py") == []
+
     def test_r004_requires_bump(self):
         findings = check_engine_version_bump(
             ["src/repro/engine/cells.py"], version_bumped=False

@@ -9,11 +9,17 @@ writes per-benchmark medians and before/after speedups to
 ``BENCH_axiomatic.json`` at the repository root.  Future PRs diff against
 this file to see whether they moved the hot path.
 
+Each run also *appends* a timestamped entry to ``BENCH_history.json``
+next to the output file, so the baseline keeps a trail of past runs
+instead of silently overwriting itself (a corrupt or missing history
+file restarts the trail rather than failing the run).
+
 Usage::
 
     python tools/run_benches.py                 # full run (~1 min)
     python tools/run_benches.py --skip-parallel # axiomatic benches only
     python tools/run_benches.py -o other.json   # alternate output path
+    python tools/run_benches.py --no-history    # skip the history append
 
 Requires ``pytest-benchmark`` (already a benchmarks/ dependency).
 """
@@ -32,6 +38,33 @@ ROOT = pathlib.Path(__file__).resolve().parent.parent
 AXIOMATIC_BENCH = "benchmarks/bench_axiomatic_engine.py"
 PARALLEL_BENCH = "benchmarks/bench_engine_parallel.py"
 DEFAULT_OUT = ROOT / "BENCH_axiomatic.json"
+HISTORY_NAME = "BENCH_history.json"
+
+
+def append_history(
+    history_path: pathlib.Path, payload: dict, timestamp: str
+) -> list:
+    """Append a timestamped history entry; return the full history list.
+
+    The history file is a JSON array of ``{"timestamp", "speedup",
+    "engine_parallel"}`` entries — the comparable medians, not the whole
+    payload, so the file stays reviewable.  A missing, corrupt, or
+    non-list history restarts the trail (benchmark runs must never fail
+    on a bad history file).
+    """
+    entries: list = []
+    try:
+        existing = json.loads(history_path.read_text())
+        if isinstance(existing, list):
+            entries = existing
+    except (OSError, ValueError):
+        pass
+    entry = {"timestamp": timestamp, "speedup": payload.get("speedup", {})}
+    if "engine_parallel" in payload:
+        entry["engine_parallel"] = payload["engine_parallel"]
+    entries.append(entry)
+    history_path.write_text(json.dumps(entries, indent=2, sort_keys=True) + "\n")
+    return entries
 
 
 def _run_bench(bench: str, json_path: pathlib.Path, extra_env: dict) -> None:
@@ -115,6 +148,11 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="skip the engine-parallel matrix benchmark",
     )
+    parser.add_argument(
+        "--no-history",
+        action="store_true",
+        help=f"do not append this run to {HISTORY_NAME}",
+    )
     args = parser.parse_args(argv)
     payload = collect(skip_parallel=args.skip_parallel)
     args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
@@ -122,6 +160,15 @@ def main(argv: list[str] | None = None) -> int:
     for name in sorted(hard):
         print(f"{name}: {payload['speedup'][name]}x")
     print(f"wrote {args.output}")
+    if not args.no_history:
+        import datetime
+
+        timestamp = datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        )
+        history_path = args.output.parent / HISTORY_NAME
+        entries = append_history(history_path, payload, timestamp)
+        print(f"appended run {len(entries)} to {history_path}")
     return 0
 
 
