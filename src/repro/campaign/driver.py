@@ -35,11 +35,16 @@ import re
 from dataclasses import dataclass, replace
 from typing import Callable, Mapping, Optional, Sequence
 
-from ..engine import ModelLike, VerdictSpec, evaluate_cells
+from typing import Union
+
+from ..engine import ModelLike, OutcomeSpec, VerdictSpec, evaluate_cells
 from ..eval.discrepancy import (
     Discrepancy,
+    OracleDiscrepancy,
     mine_discrepancies,
+    mine_oracle_discrepancies,
     render_discrepancies,
+    render_oracle_discrepancies,
 )
 from ..eval.litmus_matrix import litmus_matrix
 from ..litmus.frontend.printer import print_litmus
@@ -51,8 +56,11 @@ from .minimize import (
     divergence_check,
     instruction_count,
     minimize_divergence,
+    oracle_divergence_check,
 )
 from .state import (
+    ORACLE_AXIOMATIC,
+    ORACLE_OPERATIONAL,
     CampaignDir,
     CampaignError,
     CampaignSpec,
@@ -60,13 +68,28 @@ from .state import (
     suite_digest,
 )
 
-__all__ = ["WitnessRecord", "HuntReport", "run_hunt", "DEFAULT_PAIRS"]
+__all__ = [
+    "WitnessRecord",
+    "HuntReport",
+    "run_hunt",
+    "DEFAULT_PAIRS",
+    "DEFAULT_ORACLE_PAIRS",
+]
 
 DEFAULT_PAIRS: tuple[tuple[str, str], ...] = (("wmm", "arm"),)
 """The pair a fresh campaign hunts when none is given: the paper's
 central WMM-vs-ARM positioning claim."""
 
+DEFAULT_ORACLE_PAIRS: tuple[tuple[str, str], ...] = (
+    ("gam", "gam"),
+    ("gam0", "gam0"),
+)
+"""The (model, machine) pairs a fresh ``--oracle operational`` campaign
+hunts when none is given: the paper's two equivalence theorems."""
+
 _DEFAULT_SHARDS = 4
+
+AnyDiscrepancy = Union[Discrepancy, OracleDiscrepancy]
 
 
 @dataclass(frozen=True)
@@ -83,7 +106,7 @@ class WitnessRecord:
         checks: divergence re-checks the minimizer spent.
     """
 
-    discrepancy: Discrepancy
+    discrepancy: AnyDiscrepancy
     path: str
     relpath: str
     original_instrs: int
@@ -105,7 +128,7 @@ class HuntReport:
 
     spec: CampaignSpec
     tests_evaluated: int
-    discrepancies: tuple[Discrepancy, ...]
+    discrepancies: tuple[AnyDiscrepancy, ...]
     witnesses: tuple[WitnessRecord, ...]
     text: str
 
@@ -115,7 +138,7 @@ class HuntReport:
         return tuple(record.path for record in self.witnesses)
 
 
-def _witness_stem(disc: Discrepancy) -> str:
+def _witness_stem(disc: AnyDiscrepancy) -> str:
     """Deterministic file/test name for a discrepancy's witness.
 
     Constructed member names (``ctor(same_address_loads=arm)``) carry
@@ -207,6 +230,127 @@ def _evaluate_shards(
             )
 
 
+def _evaluate_oracle_shards(
+    campaign: CampaignDir,
+    spec: CampaignSpec,
+    tests: Sequence[LitmusTest],
+    concrete_pairs: Sequence[tuple[str, str]],
+    lookup: Mapping[str, ModelLike],
+    jobs: int,
+    log: Callable[[str], None],
+    heartbeat: bool = False,
+) -> None:
+    """The operational-oracle analogue of :func:`_evaluate_shards`.
+
+    Each (test, pair) comparison is two full-projection outcome cells —
+    the axiomatic model and the machine — and the shard record stores
+    the divergence profile (machine-only / axioms-only outcome counts)
+    per pair, which is all mining needs; the sets themselves stay in the
+    engine cache.
+    """
+    for index in range(spec.num_shards):
+        if campaign.load_shard(index) is not None:
+            incr("campaign.shards.resumed")
+            log(f"shard {index + 1}/{spec.num_shards}: already complete")
+            continue
+        shard_tests = shard_suite(tests, index, spec.num_shards)
+        incr("campaign.shards.evaluated")
+        incr("campaign.tests.evaluated", len(shard_tests))
+        log(
+            f"shard {index + 1}/{spec.num_shards}: evaluating "
+            f"{len(shard_tests)} tests x {len(concrete_pairs)} oracle pairs"
+        )
+        cells = []
+        for test in shard_tests:
+            for model_name, oracle_label in concrete_pairs:
+                cells.append(
+                    OutcomeSpec(test, lookup[model_name], project="full")
+                )
+                cells.append(
+                    OutcomeSpec(
+                        test,
+                        lookup[model_name],
+                        project="full",
+                        oracle=oracle_label,
+                    )
+                )
+        done = {"count": 0}
+        started = monotonic()
+
+        def on_batch(test: LitmusTest, results: Sequence[object]) -> None:
+            done["count"] += 1
+            log(
+                f"  [{done['count']}/{len(shard_tests)}] {test.name}: "
+                + " ".join(
+                    f"{a}~{b}="
+                    + (
+                        "ok"
+                        if results[2 * offset] == results[2 * offset + 1]
+                        else "DIFF"
+                    )
+                    for offset, (a, b) in enumerate(concrete_pairs)
+                )
+            )
+            if heartbeat:
+                log(
+                    f"  heartbeat: shard {index + 1}/{spec.num_shards} "
+                    f"{done['count']}/{len(shard_tests)} tests "
+                    f"{monotonic() - started:.1f}s elapsed"
+                )
+
+        with time_block("campaign.shard.seconds"):
+            results = evaluate_cells(
+                cells, jobs=jobs, cache_dir=campaign.cache_dir, on_batch=on_batch
+            )
+            width = 2 * len(concrete_pairs)
+            entries = []
+            for position, test in enumerate(shard_tests):
+                divergences = {}
+                for offset, pair in enumerate(concrete_pairs):
+                    axiomatic = results[position * width + 2 * offset]
+                    operational = results[position * width + 2 * offset + 1]
+                    divergences["|".join(pair)] = [
+                        len(operational - axiomatic),
+                        len(axiomatic - operational),
+                    ]
+                entries.append(
+                    {
+                        "name": test.name,
+                        "instrs": instruction_count(test),
+                        "oracle": divergences,
+                    }
+                )
+            campaign.write_shard(
+                index,
+                {
+                    "shard": index,
+                    "num_shards": spec.num_shards,
+                    "tests": entries,
+                    "complete": True,
+                },
+            )
+
+
+def _oracle_table(
+    campaign: CampaignDir,
+    spec: CampaignSpec,
+    tests: Sequence[LitmusTest],
+) -> dict[str, dict[str, tuple[int, int]]]:
+    """Pivot oracle shard records into suite order (see `_verdict_table`)."""
+    by_name: dict[str, dict[str, tuple[int, int]]] = {}
+    for index in range(spec.num_shards):
+        record = campaign.load_shard(index)
+        if record is None:  # unreachable after _evaluate_oracle_shards
+            raise CampaignError(f"shard {index} is missing its record")
+        for entry in record["tests"]:
+            by_name[entry["name"]] = {
+                label: (int(machine_only), int(axiomatic_only))
+                for label, (machine_only, axiomatic_only)
+                in entry["oracle"].items()
+            }
+    return {test.name: by_name[test.name] for test in tests}
+
+
 def _verdict_table(
     campaign: CampaignDir,
     spec: CampaignSpec,
@@ -229,7 +373,7 @@ def _verdict_table(
 
 def _minimize_and_write(
     campaign: CampaignDir,
-    discrepancies: Sequence[Discrepancy],
+    discrepancies: Sequence[AnyDiscrepancy],
     tests_by_name: dict[str, LitmusTest],
     lookup: Mapping[str, ModelLike],
     log: Callable[[str], None],
@@ -238,10 +382,68 @@ def _minimize_and_write(
     records: list[WitnessRecord] = []
     for disc in discrepancies:
         with time_block("campaign.minimize.seconds"):
-            records.append(
-                _minimize_one(campaign, disc, tests_by_name, lookup, log)
-            )
+            if isinstance(disc, OracleDiscrepancy):
+                records.append(
+                    _minimize_one_oracle(
+                        campaign, disc, tests_by_name, lookup, log
+                    )
+                )
+            else:
+                records.append(
+                    _minimize_one(campaign, disc, tests_by_name, lookup, log)
+                )
     return records
+
+
+def _minimize_one_oracle(
+    campaign: CampaignDir,
+    disc: OracleDiscrepancy,
+    tests_by_name: dict[str, LitmusTest],
+    lookup: Mapping[str, ModelLike],
+    log: Callable[[str], None],
+) -> WitnessRecord:
+    """Minimize one oracle divergence, write its witness, re-verify it."""
+    model_name, oracle_label = disc.pair
+    check = oracle_divergence_check(
+        lookup[model_name], oracle_label, cache_dir=campaign.cache_dir
+    )
+    result = minimize_divergence(tests_by_name[disc.test_name], check)
+    stem = _witness_stem(disc)
+    witness = replace(
+        result.test,
+        name=stem,
+        source="hunt minimizer",
+        description=(
+            f"Minimized {model_name}-axioms vs {oracle_label} "
+            f"divergence of {disc.test_name}."
+        ),
+    )
+    path = campaign.witness_dir / f"{stem}.litmus"
+    path.write_text(print_litmus(witness), encoding="utf-8")
+    # Re-check the *file*: the reported witness must still diverge as
+    # .litmus text, not just in memory.
+    reparsed = parse_litmus_file(str(path))
+    if not oracle_divergence_check(
+        lookup[model_name], oracle_label, cache_dir=campaign.cache_dir
+    )(reparsed):
+        raise CampaignError(
+            f"witness {stem!r} lost its divergence in the .litmus round "
+            "trip — this is a bug in the minimizer or printer"
+        )
+    log(
+        f"minimized {disc.describe()} — "
+        f"{result.original_instrs} -> {result.minimized_instrs} instrs "
+        f"({result.checks} checks)"
+    )
+    incr("campaign.witnesses")
+    return WitnessRecord(
+        discrepancy=disc,
+        path=str(path),
+        relpath=str(path.relative_to(campaign.root)),
+        original_instrs=result.original_instrs,
+        minimized_instrs=result.minimized_instrs,
+        checks=result.checks,
+    )
 
 
 def _minimize_one(
@@ -304,13 +506,16 @@ def _minimize_one(
 def _render_report(
     spec: CampaignSpec,
     tests_evaluated: int,
-    discrepancies: Sequence[Discrepancy],
+    discrepancies: Sequence[AnyDiscrepancy],
     witnesses: Sequence[WitnessRecord],
 ) -> str:
     """The human-readable hunt report, smallest witness first."""
     pairs = " ".join(":".join(pair) for pair in spec.pairs)
+    oracle_note = (
+        "" if spec.oracle == ORACLE_AXIOMATIC else f"oracle {spec.oracle}, "
+    )
     header = (
-        f"Hunt report — suite {spec.suite!r}, pairs {pairs}, "
+        f"Hunt report — {oracle_note}suite {spec.suite!r}, pairs {pairs}, "
         f"{spec.num_shards} shards, {tests_evaluated} tests"
     )
     sizes = {
@@ -318,7 +523,12 @@ def _render_report(
             record.minimized_instrs
         for record in witnesses
     }
-    table = render_discrepancies(
+    render = (
+        render_oracle_discrepancies
+        if spec.oracle == ORACLE_OPERATIONAL
+        else render_discrepancies
+    )
+    table = render(
         discrepancies, sizes=sizes, title="Discrepancies (ranked by witness size)"
     )
     lines = [header, "", table]
@@ -335,6 +545,27 @@ def _render_report(
     return "\n".join(lines) + "\n"
 
 
+def _witness_json(record: WitnessRecord) -> dict:
+    """One witness's ``report.json`` entry (shape follows the oracle)."""
+    disc = record.discrepancy
+    entry = {
+        "test": disc.test_name,
+        "pair": list(disc.pair),
+        "witness": record.relpath,
+        "original_instrs": record.original_instrs,
+        "minimized_instrs": record.minimized_instrs,
+    }
+    if isinstance(disc, OracleDiscrepancy):
+        entry["machine_only"] = disc.machine_only
+        entry["axiomatic_only"] = disc.axiomatic_only
+    else:
+        entry["verdicts"] = {
+            disc.pair[0]: disc.allowed_a,
+            disc.pair[1]: disc.allowed_b,
+        }
+    return entry
+
+
 def run_hunt(
     out: str,
     suite: Optional[str] = None,
@@ -345,21 +576,26 @@ def run_hunt(
     lint: bool = True,
     log: Optional[Callable[[str], None]] = None,
     heartbeat: bool = False,
+    oracle: Optional[str] = None,
 ) -> HuntReport:
-    """Run (or resume) a differential model-hunt campaign in ``out``.
+    """Run (or resume) a differential hunt campaign in ``out``.
 
     Args:
         out: the campaign directory (created if missing).  An existing
             campaign resumes automatically when the requested spec matches
             the stored one, and is refused otherwise.
-        suite: any ``--suite`` spec (``gen:...``, static names,
-            ``.litmus`` paths).  Optional when resuming: the stored spec
-            supplies it.
-        pairs: ``(weaker, stronger)`` model-*spec* pairs to differentiate;
-            each side is anything :func:`repro.models.spec.resolve_models`
-            accepts, so ``("space:same_address_loads=*", "gam")`` hunts a
-            whole constructed family against a baseline.  Defaults to
-            :data:`DEFAULT_PAIRS` for a fresh campaign.
+        suite: any ``--suite`` spec (``gen:...``, ``rand:...``, static
+            names, ``.litmus`` paths).  Optional when resuming: the
+            stored spec supplies it.
+        pairs: the pair specs to differentiate.  Under the default
+            (axiomatic) oracle these are ``(weaker, stronger)``
+            model-*spec* pairs; each side is anything
+            :func:`repro.models.spec.resolve_models` accepts, so
+            ``("space:same_address_loads=*", "gam")`` hunts a whole
+            constructed family against a baseline, defaulting to
+            :data:`DEFAULT_PAIRS` for a fresh campaign.  Under the
+            operational oracle these are ``(model spec, machine)`` pairs
+            defaulting to :data:`DEFAULT_ORACLE_PAIRS`.
         num_shards: deterministic suite chunks (default 4 when fresh).
         jobs: worker processes per shard's engine run.
         resume: require existing state (a guard against typo'd ``--out``
@@ -373,6 +609,10 @@ def run_hunt(
         heartbeat: emit per-batch heartbeat lines with elapsed wall time
             (``repro hunt --stats`` turns this on; the default log output
             carries no wall-clock text and stays byte-identical).
+        oracle: ``"axiomatic"`` (model-vs-model verdict hunting, the
+            default) or ``"operational"`` (axiomatic-vs-machine
+            outcome-set hunting over *all* suite tests, asked or not).
+            Optional when resuming: the stored spec supplies it.
 
     Returns:
         the :class:`HuntReport`; identical for identical specs no matter
@@ -383,6 +623,14 @@ def run_hunt(
         one otherwise.
     """
     log = log or (lambda message: None)
+    if oracle is not None and oracle not in (
+        ORACLE_AXIOMATIC,
+        ORACLE_OPERATIONAL,
+    ):
+        raise CampaignError(
+            f"unknown oracle {oracle!r}; expected "
+            f"{ORACLE_AXIOMATIC!r} or {ORACLE_OPERATIONAL!r}"
+        )
     campaign = CampaignDir(out)
     stored = campaign.load_spec()
     if stored is None:
@@ -393,10 +641,15 @@ def run_hunt(
         if num_shards is not None and num_shards < 1:
             raise CampaignError(f"--shards must be >= 1, got {num_shards}")
         suite_spec = suite
-        requested_pairs = tuple(pairs) if pairs else DEFAULT_PAIRS
+        mode = oracle if oracle is not None else ORACLE_AXIOMATIC
+        default_pairs = (
+            DEFAULT_ORACLE_PAIRS if mode == ORACLE_OPERATIONAL else DEFAULT_PAIRS
+        )
+        requested_pairs = tuple(pairs) if pairs else default_pairs
         shards = num_shards if num_shards is not None else _DEFAULT_SHARDS
     else:
         suite_spec = suite if suite is not None else stored.suite
+        mode = oracle if oracle is not None else stored.oracle
         requested_pairs = tuple(pairs) if pairs else stored.pairs
         shards = num_shards if num_shards is not None else stored.num_shards
 
@@ -411,19 +664,28 @@ def run_hunt(
         raise  # reported with its file/line context
     except ValueError as exc:
         raise CampaignError(str(exc)) from exc
-    tests = [test for test in resolved if test.asked is not None]
+    # The verdict oracle needs an asked outcome per test; the operational
+    # oracle compares whole outcome sets, so asked-less tests (randprog
+    # corpora) stay in.
+    if mode == ORACLE_OPERATIONAL:
+        tests = list(resolved)
+    else:
+        tests = [test for test in resolved if test.asked is not None]
     spec = CampaignSpec(
         suite=suite_spec,
         pairs=requested_pairs,
         num_shards=shards,
         suite_digest=suite_digest(tests),
+        oracle=mode,
     )
     # Expand pair specs (space:/file families fan out to concrete member
     # pairs) before any state is written: a bad model spec must not poison
     # the campaign directory either, and the expansion's content digests
     # are part of the campaign's identity via spec.to_json().
     concrete_pairs, lookup = spec.expansion()
-    model_names = member_names(concrete_pairs)
+    model_names = tuple(
+        name for name in member_names(concrete_pairs) if name in lookup
+    )
     # Lint pre-flight: refuse tests/models the linter rejects *before*
     # any campaign state is written, so a bad input cannot poison the
     # campaign directory.  Warnings pass; only error findings veto.
@@ -471,13 +733,31 @@ def run_hunt(
     # one (so the printed report covers the whole hunt), else collect
     # privately — stats.json is written either way.
     with collecting(reuse=True) as recorder:
-        _evaluate_shards(
-            campaign, spec, tests, model_names, lookup, jobs, log, heartbeat
-        )
+        if spec.oracle == ORACLE_OPERATIONAL:
+            _evaluate_oracle_shards(
+                campaign,
+                spec,
+                tests,
+                concrete_pairs,
+                lookup,
+                jobs,
+                log,
+                heartbeat,
+            )
+        else:
+            _evaluate_shards(
+                campaign, spec, tests, model_names, lookup, jobs, log, heartbeat
+            )
 
         with time_block("campaign.mine.seconds"):
-            table = _verdict_table(campaign, spec, tests)
-            discrepancies = mine_discrepancies(table, concrete_pairs)
+            if spec.oracle == ORACLE_OPERATIONAL:
+                oracle_table = _oracle_table(campaign, spec, tests)
+                discrepancies: Sequence[AnyDiscrepancy] = (
+                    mine_oracle_discrepancies(oracle_table, concrete_pairs)
+                )
+            else:
+                table = _verdict_table(campaign, spec, tests)
+                discrepancies = mine_discrepancies(table, concrete_pairs)
         incr("campaign.discrepancies", len(discrepancies))
         log(f"mined {len(discrepancies)} discrepancies over {len(tests)} tests")
 
@@ -493,30 +773,20 @@ def run_hunt(
                 "campaign": spec.to_json(),
                 "tests_evaluated": len(tests),
                 "discrepancies": [
-                    {
-                        "test": record.discrepancy.test_name,
-                        "pair": list(record.discrepancy.pair),
-                        "verdicts": {
-                            record.discrepancy.pair[0]: record.discrepancy.allowed_a,
-                            record.discrepancy.pair[1]: record.discrepancy.allowed_b,
-                        },
-                        "witness": record.relpath,
-                        "original_instrs": record.original_instrs,
-                        "minimized_instrs": record.minimized_instrs,
-                    }
-                    for record in witnesses
+                    _witness_json(record) for record in witnesses
                 ],
             },
         )
+        meta = {
+            "suite": spec.suite,
+            "shards": spec.num_shards,
+            "pairs": [":".join(pair) for pair in spec.pairs],
+            "jobs": jobs,
+        }
+        if spec.oracle != ORACLE_AXIOMATIC:
+            meta["oracle"] = spec.oracle
         stats = RunReport.from_snapshot(
-            recorder.snapshot(),
-            command="hunt",
-            meta={
-                "suite": spec.suite,
-                "shards": spec.num_shards,
-                "pairs": [":".join(pair) for pair in spec.pairs],
-                "jobs": jobs,
-            },
+            recorder.snapshot(), command="hunt", meta=meta
         )
         campaign.write_stats(stats.to_json())
     return HuntReport(

@@ -23,13 +23,20 @@ from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
 from ..core.axiomatic import DomainOverflowError
-from ..engine import EngineWorkerError, ModelLike, VerdictSpec, evaluate_cells
+from ..engine import (
+    EngineWorkerError,
+    ModelLike,
+    OutcomeSpec,
+    VerdictSpec,
+    evaluate_cells,
+)
 from ..isa.program import Program, ProgramError
 from ..litmus.test import LitmusTest, Outcome
 
 __all__ = [
     "MinimizationResult",
     "divergence_check",
+    "oracle_divergence_check",
     "minimize_divergence",
     "instruction_count",
 ]
@@ -85,6 +92,37 @@ def divergence_check(
         except (DomainOverflowError, EngineWorkerError):
             return False
         return verdict_a != verdict_b
+
+    return check
+
+
+def oracle_divergence_check(
+    model: ModelLike, oracle: str, cache_dir: Optional[str] = None
+) -> Callable[[LitmusTest], bool]:
+    """A predicate "do the axioms and the machine disagree on ``test``?".
+
+    The oracle analogue of :func:`divergence_check`: the test's
+    full-projection outcome set is computed under the axiomatic ``model``
+    and under ``oracle`` (an ``operational:<machine>`` string), and the
+    divergence is set inequality — no asked outcome required, so randprog
+    corpora minimize directly.  Both cells flow through the batch engine
+    and the campaign cache exactly like verdict cells.
+    """
+
+    def check(test: LitmusTest) -> bool:
+        if not any(len(program) for program in test.programs):
+            return False
+        try:
+            axiomatic, operational = evaluate_cells(
+                [
+                    OutcomeSpec(test, model, project="full"),
+                    OutcomeSpec(test, model, project="full", oracle=oracle),
+                ],
+                cache_dir=cache_dir,
+            )
+        except (DomainOverflowError, EngineWorkerError):
+            return False
+        return axiomatic != operational
 
     return check
 

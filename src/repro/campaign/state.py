@@ -41,14 +41,24 @@ __all__ = [
     "CampaignError",
     "CampaignSpec",
     "CampaignDir",
+    "ORACLE_AXIOMATIC",
+    "ORACLE_OPERATIONAL",
     "expand_pair_specs",
+    "expand_oracle_pairs",
     "member_names",
     "model_digest",
+    "oracle_digest",
     "suite_digest",
 ]
 
 CAMPAIGN_VERSION = 1
 """On-disk campaign layout version; bumped on incompatible changes."""
+
+ORACLE_AXIOMATIC = "axiomatic"
+"""Campaign oracle mode: model-vs-model verdict hunts (the default)."""
+
+ORACLE_OPERATIONAL = "operational"
+"""Campaign oracle mode: axiomatic-vs-abstract-machine outcome hunts."""
 
 
 class CampaignError(RuntimeError):
@@ -64,6 +74,53 @@ def model_digest(model: ModelLike) -> str:
         model_descriptor(model), sort_keys=True, separators=(",", ":")
     )
     return hashlib.sha256(descriptor.encode("utf-8")).hexdigest()
+
+
+def oracle_digest(oracle: str) -> str:
+    """Content digest of an ``operational:<machine>`` oracle.
+
+    The machine side of an oracle pair has no clauses to digest; its
+    identity is the machine's variant policy
+    (:func:`repro.engine.cells.oracle_descriptor`), so a changed machine
+    definition invalidates recorded comparisons exactly like an edited
+    model does."""
+    from ..engine.cells import oracle_descriptor  # cycle-free import
+
+    descriptor = json.dumps(
+        oracle_descriptor(oracle), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(descriptor.encode("utf-8")).hexdigest()
+
+
+class _MemberClaims:
+    """Collision-checked model-name claiming shared by pair expansions."""
+
+    def __init__(self) -> None:
+        self.lookup: dict[str, ModelLike] = {}
+
+    def claim(self, name: str, spec: str, model: ModelLike) -> None:
+        existing = self.lookup.get(name)
+        if existing is not None and model_descriptor(
+            existing
+        ) != model_descriptor(model):
+            raise CampaignError(
+                f"model name {name!r} (from spec {spec!r}) collides "
+                "with a different model of the same name in this campaign"
+            )
+        self.lookup.setdefault(name, model)
+
+    def expand_side(self, spec: str) -> list[str]:
+        from ..models.registry import REGISTRY
+        from ..models.spec import resolve_models
+
+        if spec in REGISTRY:
+            self.claim(spec, spec, spec)
+            return [spec]
+        names: list[str] = []
+        for model in resolve_models(spec):
+            self.claim(model.name, spec, model)
+            names.append(model.name)
+        return names
 
 
 def expand_pair_specs(
@@ -90,36 +147,11 @@ def expand_pair_specs(
             name but different content (the verdict table would silently
             conflate them).
     """
-    from ..models.registry import REGISTRY
-    from ..models.spec import resolve_models
-
-    lookup: dict[str, ModelLike] = {}
-
-    def claim(name: str, spec: str, model: ModelLike) -> None:
-        existing = lookup.get(name)
-        if existing is not None and model_descriptor(
-            existing
-        ) != model_descriptor(model):
-            raise CampaignError(
-                f"model name {name!r} (from spec {spec!r}) collides "
-                "with a different model of the same name in this campaign"
-            )
-        lookup.setdefault(name, model)
-
-    def expand_side(spec: str) -> list[str]:
-        if spec in REGISTRY:
-            claim(spec, spec, spec)
-            return [spec]
-        names: list[str] = []
-        for model in resolve_models(spec):
-            claim(model.name, spec, model)
-            names.append(model.name)
-        return names
-
+    claims = _MemberClaims()
     concrete: list[tuple[str, str]] = []
     for a_spec, b_spec in pairs:
-        for name_a in expand_side(a_spec):
-            for name_b in expand_side(b_spec):
+        for name_a in claims.expand_side(a_spec):
+            for name_b in claims.expand_side(b_spec):
                 pair = (name_a, name_b)
                 if name_a != name_b and pair not in concrete:
                     concrete.append(pair)
@@ -128,7 +160,50 @@ def expand_pair_specs(
             f"pair specs {[':'.join(p) for p in pairs]} expand to no "
             "two-sided pairs"
         )
-    return tuple(concrete), lookup
+    return tuple(concrete), claims.lookup
+
+
+def expand_oracle_pairs(
+    pairs: Sequence[tuple[str, str]],
+) -> tuple[tuple[tuple[str, str], ...], dict[str, ModelLike]]:
+    """Expand (model spec, machine) pairs for an operational campaign.
+
+    The first side of each pair is a model spec (family specs fan out,
+    exactly as in :func:`expand_pair_specs`); the second names one of
+    the abstract machines (:func:`repro.engine.cells
+    .operational_machines`).  Every expanded member is paired with the
+    machine's oracle label, so a concrete pair reads
+    ``("gam", "operational:gam")``.
+
+    Returns:
+        ``(concrete_pairs, models_by_name)`` — the lookup covers the
+        axiomatic sides only; machine sides carry no model.
+
+    Raises:
+        CampaignError: an unknown machine name, a member-name collision,
+            or an empty expansion.
+    """
+    from ..engine.cells import operational_machines  # cycle-free import
+
+    machines = operational_machines()
+    claims = _MemberClaims()
+    concrete: list[tuple[str, str]] = []
+    for model_spec, machine in pairs:
+        if machine not in machines:
+            raise CampaignError(
+                f"unknown operational machine {machine!r}; "
+                f"supported: {', '.join(machines)}"
+            )
+        for name in claims.expand_side(model_spec):
+            pair = (name, f"operational:{machine}")
+            if pair not in concrete:
+                concrete.append(pair)
+    if not concrete:
+        raise CampaignError(
+            f"pair specs {[':'.join(p) for p in pairs]} expand to no "
+            "oracle pairs"
+        )
+    return tuple(concrete), claims.lookup
 
 
 def member_names(
@@ -168,13 +243,19 @@ class CampaignSpec:
 
     Attributes:
         suite: the ``--suite`` spec the shards are generated from.
-        pairs: the differentiated model-pair *specs*, in CLI order; each
-            side is anything :func:`repro.models.spec.resolve_models`
-            accepts, so one stored pair may expand to a whole family.
+        pairs: the differentiated pair *specs*, in CLI order.  Under the
+            default (axiomatic) oracle each side is a model spec —
+            anything :func:`repro.models.spec.resolve_models` accepts, so
+            one stored pair may expand to a whole family.  Under the
+            operational oracle the first side is a model spec and the
+            second names an abstract machine.
         num_shards: how many deterministic chunks the suite is split into.
         suite_digest: content digest of the *resolved* suite (see
             :func:`suite_digest`); ``""`` means unchecked.
         engine_version / campaign_version: staleness guards.
+        oracle: :data:`ORACLE_AXIOMATIC` (model-vs-model verdict hunts)
+            or :data:`ORACLE_OPERATIONAL` (axiomatic-vs-machine outcome
+            hunts).
         model_digests: content digest per expanded member model.
     """
 
@@ -184,6 +265,7 @@ class CampaignSpec:
     suite_digest: str = ""
     engine_version: int = ENGINE_VERSION
     campaign_version: int = CAMPAIGN_VERSION
+    oracle: str = ORACLE_AXIOMATIC
 
     def expansion(
         self,
@@ -194,19 +276,30 @@ class CampaignSpec:
         file edited between runs must change the expansion's digests so
         :meth:`CampaignDir.check_spec` refuses a stale resume.
         """
+        if self.oracle == ORACLE_OPERATIONAL:
+            return expand_oracle_pairs(self.pairs)
         return expand_pair_specs(self.pairs)
 
     @property
     def model_names(self) -> tuple[str, ...]:
-        """Every expanded member model, deduplicated in first-seen order."""
-        concrete, _ = self.expansion()
-        return member_names(concrete)
+        """Every expanded member model, deduplicated in first-seen order.
+
+        Machine sides of operational pairs are not models and are
+        excluded.
+        """
+        concrete, lookup = self.expansion()
+        return tuple(
+            name for name in member_names(concrete) if name in lookup
+        )
 
     def to_json(self) -> dict:
-        """The ``campaign.json`` payload (includes model digests)."""
+        """The ``campaign.json`` payload (includes model digests).
+
+        Axiomatic campaigns keep the historical payload shape; the
+        operational oracle adds ``oracle`` plus per-machine digests.
+        """
         concrete, lookup = self.expansion()
-        names = member_names(concrete)
-        return {
+        payload = {
             "campaign_version": self.campaign_version,
             "engine_version": self.engine_version,
             "suite": self.suite,
@@ -214,9 +307,20 @@ class CampaignSpec:
             "pairs": [list(pair) for pair in self.pairs],
             "num_shards": self.num_shards,
             "model_digests": {
-                name: model_digest(lookup[name]) for name in names
+                name: model_digest(lookup[name])
+                for name in member_names(concrete)
+                if name in lookup
             },
         }
+        if self.oracle != ORACLE_AXIOMATIC:
+            payload["oracle"] = self.oracle
+            payload["machine_digests"] = {
+                label: oracle_digest(label)
+                for label in sorted(
+                    {b for _, b in concrete if b not in lookup}
+                )
+            }
+        return payload
 
     @classmethod
     def from_json(cls, payload: dict) -> "CampaignSpec":
@@ -228,6 +332,7 @@ class CampaignSpec:
             suite_digest=payload.get("suite_digest", ""),
             engine_version=int(payload["engine_version"]),
             campaign_version=int(payload["campaign_version"]),
+            oracle=payload.get("oracle", ORACLE_AXIOMATIC),
         )
 
 

@@ -4,16 +4,20 @@ Commands:
 
 * ``list {tests|models|workloads} [--suite SUITE]`` — catalogue contents;
 * ``show TEST [--format {pretty,litmus}]`` — print a litmus test;
-* ``check TEST [-m MODEL] [--operational]`` — allowed or forbidden?
+* ``check TEST [-m MODEL] [--operational] [--jobs N] [--cache DIR]`` —
+  allowed or forbidden?
 * ``outcomes TEST [-m MODEL] [--full]`` — enumerate the outcome set;
 * ``witness TEST [-m MODEL]`` — a concrete ``<mo, rf>`` for the outcome;
 * ``diff TEST WEAKER STRONGER`` — outcome-set difference of two models;
 * ``matrix [--suite SUITE] [--jobs N] [--cache DIR]`` — the verdict matrix;
 * ``equiv [TEST ...] [--suite SUITE] [--jobs N] [--cache DIR]`` —
   axiomatic-vs-operational agreement;
-* ``hunt --out DIR [--suite SUITE] [--pair A:B ...] [--shards N]`` — a
-  sharded, resumable differential model-hunt campaign with minimized
-  ``.litmus`` witnesses (see :mod:`repro.campaign`);
+* ``hunt --out DIR [--suite SUITE] [--pair A:B ...] [--shards N]
+  [--oracle {axiomatic,operational}]`` — a sharded, resumable
+  differential hunt campaign with minimized ``.litmus`` witnesses:
+  model-pair verdict splits by default, axiomatic-vs-abstract-machine
+  outcome-set divergences under ``--oracle operational``
+  (see :mod:`repro.campaign`);
 * ``synth TEST [-m MODEL]`` — minimal fences restoring SC;
 * ``strength [--suite SUITE] [--jobs N] [--cache DIR]`` — the measured
   model-strength lattice;
@@ -35,8 +39,9 @@ Commands:
   Tables II/III.
 
 ``SUITE`` is either a static suite name (``paper``, ``standard``,
-``all``), a generator spec (``gen:edges=4[,size=50][,seed=7]``), or a
-path to a ``.litmus`` file or a directory of them — so generated and
+``all``), a generator spec (``gen:edges=4[,size=50][,seed=7]``), a
+seeded randprog corpus (``rand:n=50[,seed=7]``), or a path to a
+``.litmus`` file or a directory of them — so generated, random and
 imported suites flow through the same harnesses as the built-in
 catalogue.
 
@@ -48,12 +53,16 @@ catalogue.
 ``hunt --pair "space:same_address_loads=*:gam"`` — a ``space:``
 enumeration over the construction lattice.
 
-The grid-shaped commands (``matrix``, ``equiv``, ``strength``) run on the
-batch evaluation engine (:mod:`repro.engine`): per-test candidate work is
-shared across the model zoo, ``--jobs N`` fans tests out over a process
-pool, and ``--cache DIR`` keeps a content-hashed on-disk result cache so
-repeated runs are incremental.  The defaults (one process, no cache)
-produce output identical to the historical serial path.
+The engine-backed commands (``check``, ``matrix``, ``equiv``,
+``strength``) run on the batch evaluation engine (:mod:`repro.engine`):
+per-test candidate work is shared across the model zoo, ``--jobs N``
+fans tests out over a process pool, and ``--cache DIR`` keeps a
+content-hashed on-disk result cache so repeated runs are incremental.
+Operational cells (``check --operational``, ``equiv``, ``hunt --oracle
+operational``) flow through the same engine and cache, keyed by the
+abstract-machine variant instead of model clauses.  The defaults (one
+process, no cache) produce output identical to the historical serial
+path.
 
 The evaluating commands (``matrix``, ``check``, ``equiv``, ``strength``,
 ``hunt``) also take ``--stats [text|json]``: the run executes under an
@@ -121,7 +130,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     suite_help = (
         "paper|standard|all, gen:edges=N[,size=M][,seed=S], "
-        "or a .litmus file/directory path"
+        "rand:n=N[,seed=S], or a .litmus file/directory path"
     )
     model_help = (
         "a registry model name, a .model file/directory path, "
@@ -139,6 +148,21 @@ def build_parser() -> argparse.ArgumentParser:
             help="collect engine telemetry and print a run report to "
             "stderr: text (default when the flag is bare) or json "
             "(see docs/observability.md); stdout is unchanged",
+        )
+
+    def add_engine_flags(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            metavar="N",
+            help="worker processes for the batch engine (default: 1, serial)",
+        )
+        cmd.add_argument(
+            "--cache",
+            default=None,
+            metavar="DIR",
+            help="on-disk result cache directory (default: no cache)",
         )
 
     list_cmd = sub.add_parser("list", help="list catalogue contents")
@@ -169,8 +193,10 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument(
         "--operational",
         action="store_true",
-        help="use the abstract machine instead of the axioms (gam/gam0 only)",
+        help="use the abstract machine instead of the axioms "
+        "(models with a machine: gam, gam0, sc, tso)",
     )
+    add_engine_flags(check)
     add_stats_flag(check)
 
     outcomes = sub.add_parser("outcomes", help="enumerate allowed outcomes")
@@ -190,21 +216,6 @@ def build_parser() -> argparse.ArgumentParser:
     diff.add_argument("test", help="litmus test name")
     diff.add_argument("weaker", help=f"the (expectedly) weaker model ({model_help})")
     diff.add_argument("stronger", help=f"the (expectedly) stronger model ({model_help})")
-
-    def add_engine_flags(cmd: argparse.ArgumentParser) -> None:
-        cmd.add_argument(
-            "--jobs",
-            type=int,
-            default=1,
-            metavar="N",
-            help="worker processes for the batch engine (default: 1, serial)",
-        )
-        cmd.add_argument(
-            "--cache",
-            default=None,
-            metavar="DIR",
-            help="on-disk result cache directory (default: no cache)",
-        )
 
     matrix = sub.add_parser("matrix", help="verdict matrix across the model zoo")
     matrix.add_argument(
@@ -255,8 +266,18 @@ def build_parser() -> argparse.ArgumentParser:
         action="append",
         default=None,
         metavar="A:B",
-        help="model-spec pair to differentiate, e.g. wmm:arm or "
-        "space:same_address_loads=*:gam (repeatable; default: wmm:arm)",
+        help="pair to differentiate (repeatable).  Axiomatic oracle: a "
+        "model-spec pair, e.g. wmm:arm or space:same_address_loads=*:gam "
+        "(default: wmm:arm).  Operational oracle: model:machine, or a "
+        "bare name for a model vs its own machine (default: gam gam0)",
+    )
+    hunt.add_argument(
+        "--oracle",
+        choices=("axiomatic", "operational"),
+        default=None,
+        help="what each pair differences: two models' verdicts "
+        "(axiomatic, the default) or a model's axioms vs an abstract "
+        "machine's outcome sets (operational); optional when resuming",
     )
     hunt.add_argument(
         "--shards",
@@ -507,6 +528,7 @@ def _cmd_show(args: argparse.Namespace) -> int:
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
+    from .engine import VerdictSpec, evaluate_cells
     from .litmus.registry import get_test
 
     test = get_test(args.test)
@@ -514,23 +536,23 @@ def _cmd_check(args: argparse.Namespace) -> int:
         print(f"test {test.name!r} has no asked outcome")
         return 2
     if args.operational:
-        from .core.operational import GAM0_MACHINE, GAM_MACHINE, operational_allows
+        from .engine import operational_machines
         from .models.registry import REGISTRY
 
         # Aliases resolve before the machine lookup, so `-m rmo` reaches
         # the gam0 machine rather than being rejected as unknown.
-        machines = {"gam": GAM_MACHINE, "gam0": GAM0_MACHINE}
         canonical = REGISTRY.canonical_name(args.model)
-        if canonical not in machines:
-            print(f"--operational supports models: {', '.join(machines)}")
-            return 2
-        allowed = operational_allows(test, machines[canonical])
+        if canonical not in operational_machines():
+            raise CLIUsageError(
+                "--operational supports models: "
+                f"{', '.join(operational_machines())}"
+            )
+        cell = VerdictSpec(test, canonical, oracle=f"operational:{canonical}")
         definition = "abstract machine"
     else:
-        from .core.axiomatic import is_allowed
-
-        allowed = is_allowed(test, _resolve_model(args.model))
+        cell = VerdictSpec(test, _resolve_model(args.model))
         definition = "axioms"
+    [allowed] = evaluate_cells([cell], jobs=args.jobs, cache_dir=args.cache)
     verdict = "ALLOWED" if allowed else "FORBIDDEN"
     print(f"{test.name}: {test.asked} is {verdict} under {args.model} ({definition})")
     expected = test.expect.get(args.model)
@@ -668,7 +690,15 @@ def _cmd_hunt(args: argparse.Namespace) -> int:
     pairs = None
     if args.pair:
         try:
-            pairs = [parse_pair(spec) for spec in args.pair]
+            if args.oracle == "operational":
+                # A bare name is the self-pair shorthand: `--pair gam`
+                # differences the gam axioms against the gam machine.
+                pairs = [
+                    (spec, spec) if ":" not in spec else parse_pair(spec)
+                    for spec in args.pair
+                ]
+            else:
+                pairs = [parse_pair(spec) for spec in args.pair]
         except ValueError as exc:
             raise CLIUsageError(str(exc)) from exc
     # Bad suite specs surface as CampaignError from run_hunt's resolution
@@ -682,6 +712,7 @@ def _cmd_hunt(args: argparse.Namespace) -> int:
         resume=args.resume,
         lint=not args.no_lint,
         log=print,
+        oracle=args.oracle,
         # Heartbeat lines ride with --stats so the default hunt log stays
         # byte-identical to the pre-telemetry output.
         heartbeat=args.stats is not None,
@@ -1025,7 +1056,7 @@ def _dispatch(args: argparse.Namespace) -> int:
     # Only deterministic inputs belong in meta; skip unset optionals.
     meta = {
         key: value
-        for key in ("suite", "jobs")
+        for key in ("suite", "jobs", "oracle")
         if (value := getattr(args, key, None)) is not None
     }
     report = RunReport.from_snapshot(snapshot, command=args.command, meta=meta)

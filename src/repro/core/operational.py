@@ -41,6 +41,8 @@ from ..isa.instructions import (
 )
 from ..isa.program import Program
 from ..litmus.test import LitmusTest, Outcome
+from ..obs import current as _obs_current
+from ..obs import time_block as _obs_time_block
 from .axiomatic import project_outcome
 
 __all__ = [
@@ -528,25 +530,31 @@ def explore(
         memory=initial_memory,
         procs=tuple(ProcState(0, ()) for _ in test.programs),
     )
-    stack = list(machine.fetch_closure(empty))
-    seen: set[MachineState] = set(stack)
-    outcomes: set[Outcome] = set()
-    terminals = 0
-    while stack:
-        state = stack.pop()
-        if machine.is_terminal(state):
-            terminals += 1
-            regs, mem = machine.final_state(state)
-            outcomes.add(project_outcome(test, regs, mem, project))
-            continue
-        for successor in machine.successors(state):
-            if successor not in seen:
-                seen.add(successor)
-                if len(seen) > max_states:
-                    raise RuntimeError(
-                        f"state-space explosion exploring {test.name!r}"
-                    )
-                stack.append(successor)
+    with _obs_time_block("operational.explore.time"):
+        stack = list(machine.fetch_closure(empty))
+        seen: set[MachineState] = set(stack)
+        outcomes: set[Outcome] = set()
+        terminals = 0
+        while stack:
+            state = stack.pop()
+            if machine.is_terminal(state):
+                terminals += 1
+                regs, mem = machine.final_state(state)
+                outcomes.add(project_outcome(test, regs, mem, project))
+                continue
+            for successor in machine.successors(state):
+                if successor not in seen:
+                    seen.add(successor)
+                    if len(seen) > max_states:
+                        raise RuntimeError(
+                            f"state-space explosion exploring {test.name!r}"
+                        )
+                    stack.append(successor)
+    recorder = _obs_current()
+    if recorder.active:
+        recorder.incr("operational.explore.runs")
+        recorder.incr("operational.explore.states", len(seen))
+        recorder.incr("operational.explore.terminals", terminals)
     return ExplorationResult(
         outcomes=frozenset(outcomes),
         states_visited=len(seen),

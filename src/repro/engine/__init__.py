@@ -1,9 +1,9 @@
 """Batch evaluation engine: shared candidates, parallel fan-out, caching.
 
-Every harness in this repository ultimately asks the axiomatic core the
-same two questions — "is this outcome allowed?" and "what is the outcome
-set?" — over a *grid* of (litmus test × memory model) cells: the verdict
-matrix sweeps the model zoo, the strength lattice compares outcome sets
+Every harness in this repository ultimately asks its oracle the same two
+questions — "is this outcome allowed?" and "what is the outcome set?" —
+over a *grid* of (litmus test × memory model) cells: the verdict matrix
+sweeps the model zoo, the strength lattice compares outcome sets
 pairwise, and the equivalence checker pits each axiomatic model against
 its operational twin.  Run naively, every cell re-derives the same
 per-test work (value domains, program-run enumeration, event and
@@ -12,9 +12,16 @@ redundant.  This package is the shared harness that amortizes it, in the
 tradition of the single-candidate-generation litmus tools (herd and
 friends).
 
+Every cell carries an *oracle*: ``"axiomatic"`` (the default) answers it
+with the axiomatic enumeration of the cell's model, while
+``"operational:<machine>"`` answers it by exhaustively exploring one of
+the abstract machines (GAM, GAM0, SC, TSO) — the same specs, scheduler,
+cache and telemetry serve both definitions, which is what makes
+machine-vs-axioms differential campaigns ordinary engine work.
+
 Architecture::
 
-    cells (VerdictSpec / OutcomeSpec / EquivSpec)
+    cells (VerdictSpec / OutcomeSpec, × oracle)
         │  grouped per test, order preserved
         ▼
     scheduler ── jobs=1 ──► in-process batches
@@ -27,8 +34,9 @@ Architecture::
      deterministic)             │   per clause set
         │                       ▼
         └──────────────► ResultCache (optional, content-hashed JSON;
-                         key = test content + model clauses +
-                         ENGINE_VERSION, so entries can't go stale)
+                         key = test content + oracle (model clauses or
+                         machine variant) + ENGINE_VERSION, so entries
+                         can't go stale)
 
 The three layers:
 
@@ -64,22 +72,25 @@ from __future__ import annotations
 from .cache import ResultCache, cell_cache_key
 from .cells import (
     ENGINE_VERSION,
+    ORACLE_AXIOMATIC,
     CellResult,
     CellSpec,
-    EquivSpec,
     ModelLike,
     OutcomeSpec,
     VerdictSpec,
     evaluate_cell,
     model_display_name,
+    operational_machines,
+    oracle_descriptor,
+    parse_oracle,
 )
 from .scheduler import EngineWorkerError, evaluate_cells
 
 __all__ = [
     "ENGINE_VERSION",
+    "ORACLE_AXIOMATIC",
     "CellResult",
     "CellSpec",
-    "EquivSpec",
     "ModelLike",
     "OutcomeSpec",
     "VerdictSpec",
@@ -88,5 +99,8 @@ __all__ = [
     "evaluate_cell",
     "evaluate_cells",
     "model_display_name",
+    "operational_machines",
+    "oracle_descriptor",
+    "parse_oracle",
     "EngineWorkerError",
 ]

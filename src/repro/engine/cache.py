@@ -28,9 +28,9 @@ from ..litmus.test import Outcome
 from ..obs import current as _obs_current
 from ..obs import incr as _obs_incr
 from .cells import (
+    ORACLE_AXIOMATIC,
     CellResult,
     CellSpec,
-    EquivSpec,
     OutcomeSpec,
     VerdictSpec,
     cell_descriptor,
@@ -47,9 +47,14 @@ def cell_cache_key(cell: CellSpec) -> str:
 
 
 def _cell_label(cell: CellSpec) -> str:
-    """The per-model (or per-pair) label cache counters are keyed by."""
-    if isinstance(cell, EquivSpec):
-        return cell.pair_name
+    """The per-model (or per-oracle) label cache counters are keyed by.
+
+    Axiomatic cells are keyed by their model's display name; operational
+    cells by the oracle string (e.g. ``operational:gam``), matching the
+    cache key's indifference to the display model.
+    """
+    if cell.oracle != ORACLE_AXIOMATIC:
+        return cell.oracle
     return model_display_name(cell.model)
 
 
@@ -96,13 +101,6 @@ def _encode(cell: CellSpec, result: CellResult) -> dict:
         return {"kind": "verdict", "allowed": result}
     if isinstance(cell, OutcomeSpec):
         return {"kind": "outcomes", "outcomes": _outcomes_to_json(result)}
-    if isinstance(cell, EquivSpec):
-        axiomatic, operational = result
-        return {
-            "kind": "equiv",
-            "axiomatic": _outcomes_to_json(axiomatic),
-            "operational": _outcomes_to_json(operational),
-        }
     raise TypeError(f"unknown cell spec {cell!r}")
 
 
@@ -111,11 +109,6 @@ def _decode(cell: CellSpec, payload: dict) -> CellResult:
         return bool(payload["allowed"])
     if isinstance(cell, OutcomeSpec):
         return _outcomes_from_json(payload["outcomes"])
-    if isinstance(cell, EquivSpec):
-        return (
-            _outcomes_from_json(payload["axiomatic"]),
-            _outcomes_from_json(payload["operational"]),
-        )
     raise TypeError(f"unknown cell spec {cell!r}")
 
 

@@ -1,36 +1,45 @@
 """Evaluation cells: the unit of work the batch engine schedules.
 
-A *cell* is one entry of a test × model (or test × definition-pair) grid:
+A *cell* is one entry of a test × model grid evaluated under an *oracle*:
 
-* :class:`VerdictSpec` — "does ``model`` allow ``test``'s asked outcome?"
+* :class:`VerdictSpec` — "does the oracle allow ``test``'s asked outcome?"
   (the litmus verdict matrix);
-* :class:`OutcomeSpec` — the full projected outcome set (the strength
-  lattice);
-* :class:`EquivSpec` — axiomatic vs operational outcome sets for one
-  definition pair (the equivalence checker).
+* :class:`OutcomeSpec` — the oracle's full projected outcome set (the
+  strength lattice, the equivalence checker).
+
+The oracle selects *which definition* answers the cell:
+
+* ``"axiomatic"`` (the default) resolves the cell's :data:`ModelLike` and
+  runs the axiomatic enumeration (order enumerator or frontier kernel);
+* ``"operational:<machine>"`` exhaustively explores one of the abstract
+  machines named by :func:`operational_machines` — the Figure 17 GAM
+  machine, its GAM0 variant, or the SC/TSO reference machines.  The
+  ``model`` field is carried for display only; the machine alone
+  determines the result (and the cache key).
 
 Cells are small frozen dataclasses carrying the :class:`LitmusTest`
 itself and a :data:`ModelLike` — either a model *spec string* (a registry
 name, a ``.model`` file/directory path, a ``ctor:`` construction point;
 anything :func:`repro.models.spec.resolve_model` accepts) or a built
-:class:`~repro.core.axiomatic.MemoryModel`.  Both forms are picklable,
+:class:`~repro.core.axiomatic.MemoryModel`.  All forms are picklable,
 so cells cross process boundaries untouched and worker processes
 re-resolve spec strings against their own filesystem/registry view.
 
 Every cell exposes a *descriptor* — a canonical JSON-able structure
 hashed into the on-disk cache key.  Descriptors hash content, not names:
-two structurally identical tests share cache entries, and a model is
-keyed by its clause names, load-value axiom and coherence requirement
-(clause names fully determine clause behaviour in this repository's
-vocabulary).  A ``.model``-file cell therefore re-reads the file per
-descriptor: editing the file's content changes the cache key, while
-renaming the model inside it does not.
+two structurally identical tests share cache entries, an axiomatic cell
+is keyed by its model's clause names, load-value axiom and coherence
+requirement, and an operational cell is keyed by the machine's variant
+policy (clause names and variant policies fully determine behaviour in
+this repository's vocabulary).  A ``.model``-file cell therefore
+re-reads the file per descriptor: editing the file's content changes the
+cache key, while renaming the model inside it does not.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Callable, Optional, Union
 
 from ..core.axiomatic import (
     CandidatePrefix,
@@ -38,26 +47,35 @@ from ..core.axiomatic import (
     enumerate_outcomes,
     is_allowed,
 )
-from ..litmus.test import LitmusTest
+from ..core.operational import (
+    GAM0_MACHINE,
+    GAM_MACHINE,
+    operational_outcomes,
+)
+from ..core.reference_machines import sc_outcomes, tso_outcomes
+from ..litmus.test import LitmusTest, Outcome
 from ..models.spec import resolve_model
 from ..obs import current as _obs_current
 
 __all__ = [
     "ENGINE_VERSION",
+    "ORACLE_AXIOMATIC",
     "ModelLike",
     "VerdictSpec",
     "OutcomeSpec",
-    "EquivSpec",
     "CellSpec",
     "CellResult",
     "cell_descriptor",
     "test_descriptor",
     "model_descriptor",
     "model_display_name",
+    "oracle_descriptor",
+    "operational_machines",
+    "parse_oracle",
     "evaluate_cell",
 ]
 
-ENGINE_VERSION = 3
+ENGINE_VERSION = 4
 """Bumped whenever engine/axiomatic semantics change, invalidating caches.
 
 Version history:
@@ -73,10 +91,19 @@ Version history:
   but the evaluation internals changed and the R004 invariant ties every
   engine-path diff to a bump, so older entries re-verify rather than vouch
   for the instrumented code paths.
+* 4 — the oracle abstraction: every cell carries an ``oracle`` field, the
+  abstract machines became engine backends, descriptors gained an
+  ``oracle`` key (operational cells key on the machine variant, not the
+  model) and the bespoke ``EquivSpec`` kind was retired in favour of
+  outcome cells under both oracles.  Axiomatic results are unchanged, but
+  the descriptor shape changed, so version-3 entries must miss.
 """
 
 ModelLike = Union[str, MemoryModel]
 """A model spec string (resolved via ``resolve_model``) or a built model."""
+
+ORACLE_AXIOMATIC = "axiomatic"
+"""The default oracle: axiomatic enumeration of the cell's model."""
 
 
 def model_display_name(model: ModelLike) -> str:
@@ -94,12 +121,89 @@ def _resolve(model: ModelLike) -> MemoryModel:
     return resolve_model(model)
 
 
+MachineFn = Callable[[LitmusTest, str], "frozenset[Outcome]"]
+
+
+def _gam_outcomes(test: LitmusTest, project: str) -> frozenset[Outcome]:
+    return operational_outcomes(test, GAM_MACHINE, project=project)
+
+
+def _gam0_outcomes(test: LitmusTest, project: str) -> frozenset[Outcome]:
+    return operational_outcomes(test, GAM0_MACHINE, project=project)
+
+
+def _sc_outcomes(test: LitmusTest, project: str) -> frozenset[Outcome]:
+    return sc_outcomes(test, project=project)
+
+
+def _tso_outcomes(test: LitmusTest, project: str) -> frozenset[Outcome]:
+    return tso_outcomes(test, project=project)
+
+
+_MACHINES: dict[str, tuple[MachineFn, dict]] = {
+    "gam": (
+        _gam_outcomes,
+        {"kind": "gam-machine", "same_address_loads": GAM_MACHINE.same_address_loads},
+    ),
+    "gam0": (
+        _gam0_outcomes,
+        {"kind": "gam-machine", "same_address_loads": GAM0_MACHINE.same_address_loads},
+    ),
+    "sc": (
+        _sc_outcomes,
+        {"kind": "sc-machine"},
+    ),
+    "tso": (
+        _tso_outcomes,
+        {"kind": "tso-machine"},
+    ),
+}
+
+
+def operational_machines() -> tuple[str, ...]:
+    """Sorted names accepted in ``operational:<machine>`` oracle strings."""
+    return tuple(sorted(_MACHINES))
+
+
+def parse_oracle(oracle: str) -> tuple[str, Optional[str]]:
+    """Split an oracle string into ``(kind, machine)``.
+
+    ``"axiomatic"`` parses to ``("axiomatic", None)``;
+    ``"operational:<machine>"`` parses to ``("operational", machine)``
+    for any machine in :func:`operational_machines`.  Anything else
+    raises :class:`ValueError`.
+    """
+    if oracle == ORACLE_AXIOMATIC:
+        return ("axiomatic", None)
+    kind, sep, machine = oracle.partition(":")
+    if kind == "operational" and sep and machine in _MACHINES:
+        return ("operational", machine)
+    raise ValueError(
+        f"unknown oracle {oracle!r}; expected 'axiomatic' or "
+        f"'operational:<machine>' with machine one of "
+        f"{', '.join(operational_machines())}"
+    )
+
+
+def oracle_descriptor(oracle: str) -> dict:
+    """Canonical content descriptor of an oracle (cache-key material).
+
+    Axiomatic cells additionally hash their model descriptor; operational
+    cells are fully determined by the machine variant captured here.
+    """
+    kind, machine = parse_oracle(oracle)
+    if machine is None:
+        return {"kind": "axiomatic"}
+    return {"kind": "operational", "machine": _MACHINES[machine][1]}
+
+
 @dataclass(frozen=True)
 class VerdictSpec:
-    """One (test, model) verdict cell: is the asked outcome allowed?"""
+    """One (test, model, oracle) verdict cell: is the asked outcome allowed?"""
 
     test: LitmusTest
     model: ModelLike
+    oracle: str = ORACLE_AXIOMATIC
 
     @property
     def model_name(self) -> str:
@@ -109,11 +213,12 @@ class VerdictSpec:
 
 @dataclass(frozen=True)
 class OutcomeSpec:
-    """One (test, model) outcome-set cell under a projection."""
+    """One (test, model, oracle) outcome-set cell under a projection."""
 
     test: LitmusTest
     model: ModelLike
     project: str = "full"
+    oracle: str = ORACLE_AXIOMATIC
 
     @property
     def model_name(self) -> str:
@@ -121,24 +226,10 @@ class OutcomeSpec:
         return model_display_name(self.model)
 
 
-@dataclass(frozen=True)
-class EquivSpec:
-    """One (test, definition-pair) cell: (axiomatic, operational) sets.
+CellSpec = Union[VerdictSpec, OutcomeSpec]
 
-    Pair names are the keys of
-    :func:`repro.equivalence.checker.default_pairs`; each names both an
-    axiomatic model and the operational definition it is compared against.
-    """
-
-    test: LitmusTest
-    pair_name: str
-
-
-CellSpec = Union[VerdictSpec, OutcomeSpec, EquivSpec]
-
-CellResult = Union[bool, frozenset, tuple]
-"""``bool`` for verdicts, ``frozenset[Outcome]`` for outcome sets, and an
-``(axiomatic, operational)`` pair of outcome sets for equivalence cells."""
+CellResult = Union[bool, frozenset]
+"""``bool`` for verdicts, ``frozenset[Outcome]`` for outcome sets."""
 
 
 def test_descriptor(test: LitmusTest) -> dict:
@@ -177,45 +268,67 @@ def model_descriptor(model: ModelLike) -> dict:
 
 
 def cell_descriptor(cell: CellSpec) -> dict:
-    """The canonical descriptor hashed into a cell's cache key."""
+    """The canonical descriptor hashed into a cell's cache key.
+
+    Operational cells omit the model descriptor: the machine alone
+    determines the result, so cells that differ only in their display
+    model share one cache entry.
+    """
+    _, machine = parse_oracle(cell.oracle)
+    descriptor = {
+        "engine_version": ENGINE_VERSION,
+        "oracle": oracle_descriptor(cell.oracle),
+        "test": test_descriptor(cell.test),
+    }
+    if machine is None:
+        descriptor["model"] = model_descriptor(cell.model)
     if isinstance(cell, VerdictSpec):
-        return {
-            "engine_version": ENGINE_VERSION,
-            "kind": "verdict",
-            "test": test_descriptor(cell.test),
-            "model": model_descriptor(cell.model),
-        }
+        descriptor["kind"] = "verdict"
+        return descriptor
     if isinstance(cell, OutcomeSpec):
-        return {
-            "engine_version": ENGINE_VERSION,
-            "kind": "outcomes",
-            "test": test_descriptor(cell.test),
-            "model": model_descriptor(cell.model),
-            "project": cell.project,
-        }
-    if isinstance(cell, EquivSpec):
-        return {
-            "engine_version": ENGINE_VERSION,
-            "kind": "equiv",
-            "test": test_descriptor(cell.test),
-            "pair": cell.pair_name,
-            "model": model_descriptor(cell.pair_name),
-        }
+        descriptor["kind"] = "outcomes"
+        descriptor["project"] = cell.project
+        return descriptor
     raise TypeError(f"unknown cell spec {cell!r}")
+
+
+def _machine_outcomes(machine: str, test: LitmusTest, project: str) -> frozenset:
+    return _MACHINES[machine][0](test, project)
+
+
+def _machine_verdict(machine: str, test: LitmusTest) -> bool:
+    """Does the machine allow the asked outcome?
+
+    Computed against the full-projection outcome set: the asked outcome
+    constrains a subset of the registers/locations a full outcome fixes,
+    so allowance is containment of the asked bindings in some terminal
+    state — exactly :meth:`repro.litmus.test.Outcome.matches` over the
+    machine's terminal states.
+    """
+    asked = test.asked
+    if asked is None:
+        raise ValueError(f"test {test.name!r} has no asked outcome")
+    outcomes = _machine_outcomes(machine, test, "full")
+    return any(
+        asked.regs <= outcome.regs and asked.mem <= outcome.mem
+        for outcome in outcomes
+    )
 
 
 def evaluate_cell(cell: CellSpec, prefix: Optional[CandidatePrefix]) -> CellResult:
     """Evaluate one cell against a shared candidate prefix.
 
     ``prefix`` must have been built for ``cell.test`` (or be ``None`` to
-    rebuild per call); sharing it across all cells of one test is the
-    engine's central amortization.  Engine dispatch happens underneath:
-    :func:`~repro.core.axiomatic.is_allowed` and
+    rebuild per call); sharing it across all axiomatic cells of one test
+    is the engine's central amortization.  Engine dispatch happens
+    underneath: :func:`~repro.core.axiomatic.is_allowed` and
     :func:`~repro.core.axiomatic.enumerate_outcomes` route each model to
     the frontier kernel when it is exact for it and to the order
     enumerator otherwise, and the kernel's solved DPs live on the shared
-    prefix alongside the memoized order streams.
+    prefix alongside the memoized order streams.  Operational cells
+    bypass the prefix entirely and explore their abstract machine.
     """
+    kind, machine = parse_oracle(cell.oracle)
     recorder = _obs_current()
     if recorder.active:
         recorder.incr("engine.cells.evaluated")
@@ -223,20 +336,17 @@ def evaluate_cell(cell: CellSpec, prefix: Optional[CandidatePrefix]) -> CellResu
             recorder.incr("engine.cells.verdict")
         elif isinstance(cell, OutcomeSpec):
             recorder.incr("engine.cells.outcomes")
-        elif isinstance(cell, EquivSpec):
-            recorder.incr("engine.cells.equiv")
+        recorder.incr("engine.oracle." + kind)
+        if machine is not None:
+            recorder.incr("engine.oracle.operational.by." + machine)
     if isinstance(cell, VerdictSpec):
-        return is_allowed(cell.test, _resolve(cell.model), prefix=prefix)
+        if machine is None:
+            return is_allowed(cell.test, _resolve(cell.model), prefix=prefix)
+        return _machine_verdict(machine, cell.test)
     if isinstance(cell, OutcomeSpec):
-        return enumerate_outcomes(
-            cell.test, _resolve(cell.model), project=cell.project, prefix=prefix
-        )
-    if isinstance(cell, EquivSpec):
-        from ..equivalence.checker import default_pairs  # cycle-free import
-
-        axiomatic = enumerate_outcomes(
-            cell.test, resolve_model(cell.pair_name), project="full", prefix=prefix
-        )
-        operational = default_pairs()[cell.pair_name][1](cell.test)
-        return axiomatic, operational
+        if machine is None:
+            return enumerate_outcomes(
+                cell.test, _resolve(cell.model), project=cell.project, prefix=prefix
+            )
+        return _machine_outcomes(machine, cell.test, cell.project)
     raise TypeError(f"unknown cell spec {cell!r}")

@@ -13,7 +13,6 @@ location, so a mismatch anywhere in the final state is caught.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Callable, Iterable, Optional, Sequence
 
@@ -27,7 +26,7 @@ from ..core.operational import (
 from ..core.reference_machines import sc_outcomes, tso_outcomes
 from ..litmus.test import LitmusTest, Outcome
 from ..models.spec import resolve_model
-from .randprog import RandomProgramConfig, random_litmus_test
+from .randprog import RandomProgramConfig, random_suite
 
 __all__ = [
     "EquivalenceReport",
@@ -116,8 +115,14 @@ def _engine_reports(
     jobs: int,
     cache_dir: Optional[str],
 ) -> list[EquivalenceReport]:
-    """Evaluate default-pair cells through the batch engine."""
-    from ..engine import EquivSpec, evaluate_cells  # cycle-free import
+    """Evaluate default-pair cells through the batch engine.
+
+    Each (test, pair) comparison is two ordinary outcome cells — the
+    axiomatic model under the default oracle and the same-named abstract
+    machine under ``operational:<pair>`` — so equivalence checking shares
+    the scheduler, the cache and the telemetry with every other grid.
+    """
+    from ..engine import OutcomeSpec, evaluate_cells  # cycle-free import
 
     known = default_pairs()
     for pair_name in pair_names:
@@ -126,20 +131,24 @@ def _engine_reports(
                 f"unknown definition pair {pair_name!r}; "
                 f"available: {', '.join(known)}"
             )
-    specs = [
-        EquivSpec(test, pair_name)
-        for test in tests
-        for pair_name in pair_names
-    ]
+    grid = [(test, pair_name) for test in tests for pair_name in pair_names]
+    specs = []
+    for test, pair_name in grid:
+        specs.append(OutcomeSpec(test, pair_name, project="full"))
+        specs.append(
+            OutcomeSpec(
+                test, pair_name, project="full", oracle=f"operational:{pair_name}"
+            )
+        )
     results = evaluate_cells(specs, jobs=jobs, cache_dir=cache_dir)
     return [
         EquivalenceReport(
-            test_name=spec.test.name,
-            pair_name=spec.pair_name,
-            axiomatic=axiomatic,
-            operational=operational,
+            test_name=test.name,
+            pair_name=pair_name,
+            axiomatic=results[2 * i],
+            operational=results[2 * i + 1],
         )
-        for spec, (axiomatic, operational) in zip(specs, results)
+        for i, (test, pair_name) in enumerate(grid)
     ]
 
 
@@ -186,11 +195,7 @@ def fuzz_equivalence(
     in-process so the sequence of random programs is identical whatever
     the fan-out.
     """
-    rng = random.Random(seed)
-    tests = [
-        random_litmus_test(rng, config, name=f"fuzz-{seed}-{i}")
-        for i in range(num_tests)
-    ]
+    tests = random_suite(num_tests, seed=seed, config=config, name_prefix="fuzz")
     return check_suite(
         tests, pair_names=pair_names, pairs=pairs, jobs=jobs, cache_dir=cache_dir
     )

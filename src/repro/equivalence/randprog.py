@@ -19,7 +19,7 @@ from ..isa.program import Program
 from ..litmus.dsl import LOCATION_STRIDE
 from ..litmus.test import LitmusTest
 
-__all__ = ["RandomProgramConfig", "random_litmus_test"]
+__all__ = ["RandomProgramConfig", "random_litmus_test", "random_suite"]
 
 
 class RandomProgramConfig:
@@ -183,3 +183,23 @@ def random_litmus_test(
         source="random",
         description="randomly generated program for equivalence fuzzing",
     )
+
+
+def random_suite(
+    count: int,
+    seed: int = 0,
+    config: Optional[RandomProgramConfig] = None,
+    name_prefix: str = "rand",
+) -> list[LitmusTest]:
+    """A deterministic corpus of ``count`` random tests from one seed.
+
+    One :class:`random.Random` stream drives the whole corpus, so test
+    ``i`` depends on the seed and its index only — the property the
+    ``rand:`` suite spec and resumable campaigns rely on.  Tests are
+    named ``{name_prefix}-{seed}-{i}``.
+    """
+    rng = random.Random(seed)
+    return [
+        random_litmus_test(rng, config, name=f"{name_prefix}-{seed}-{i}")
+        for i in range(count)
+    ]

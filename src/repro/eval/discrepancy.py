@@ -24,10 +24,13 @@ from .render import render_table
 
 __all__ = [
     "Discrepancy",
+    "OracleDiscrepancy",
     "parse_pair",
     "verdict_table",
     "mine_discrepancies",
+    "mine_oracle_discrepancies",
     "render_discrepancies",
+    "render_oracle_discrepancies",
 ]
 
 
@@ -57,6 +60,110 @@ class Discrepancy:
         va = "allows" if self.allowed_a else "forbids"
         vb = "allows" if self.allowed_b else "forbids"
         return f"{self.test_name}: {a} {va}, {b} {vb}"
+
+
+@dataclass(frozen=True)
+class OracleDiscrepancy:
+    """One (test, model-vs-machine) outcome-set divergence.
+
+    Where :class:`Discrepancy` records a boolean verdict split between
+    two models, this records an *outcome-set* split between an axiomatic
+    model and an abstract machine — the unit an ``--oracle operational``
+    hunt mines.  The sets themselves live in the engine cache; the
+    discrepancy keeps only the divergence profile.
+
+    Attributes:
+        test_name: the diverging test.
+        pair: ``(model name, oracle label)``, e.g.
+            ``("gam", "operational:gam0")``.
+        machine_only: outcomes the machine allows but the axioms forbid.
+        axiomatic_only: outcomes the axioms allow but the machine forbids.
+    """
+
+    test_name: str
+    pair: tuple[str, str]
+    machine_only: int
+    axiomatic_only: int
+
+    def describe(self) -> str:
+        """One-line human-readable summary of the divergence."""
+        model, oracle = self.pair
+        return (
+            f"{self.test_name}: {model} vs {oracle} — "
+            f"{self.machine_only} machine-only, "
+            f"{self.axiomatic_only} axioms-only outcomes"
+        )
+
+
+def mine_oracle_discrepancies(
+    table: Mapping[str, Mapping[str, tuple[int, int]]],
+    pairs: Sequence[tuple[str, str]],
+) -> list[OracleDiscrepancy]:
+    """All (test, pair) outcome-set divergences in an oracle table.
+
+    ``table`` maps test name to pair label (``"model|oracle"``) to the
+    ``(machine_only, axiomatic_only)`` divergence counts; a pair with
+    both counts zero agreed.  As with :func:`mine_discrepancies`, rows
+    missing a pair are skipped and the output order follows table order
+    then pair order, so mining is deterministic for any fixed table.
+    """
+    found: list[OracleDiscrepancy] = []
+    for test_name, row in table.items():
+        for pair in pairs:
+            label = "|".join(pair)
+            if label not in row:
+                continue
+            machine_only, axiomatic_only = row[label]
+            if machine_only or axiomatic_only:
+                found.append(
+                    OracleDiscrepancy(
+                        test_name, pair, machine_only, axiomatic_only
+                    )
+                )
+    return found
+
+
+def render_oracle_discrepancies(
+    discrepancies: Sequence[OracleDiscrepancy],
+    sizes: Optional[Mapping[tuple[str, tuple[str, str]], int]] = None,
+    title: str = "Oracle discrepancies",
+) -> str:
+    """Render oracle divergences as an aligned table, smallest first.
+
+    Mirrors :func:`render_discrepancies`: ``sizes`` ranks rows by the
+    minimized witness instruction count when given; the verdict columns
+    become machine-only / axioms-only outcome counts.
+    """
+    ordered = list(discrepancies)
+    if sizes is not None:
+        ordered.sort(
+            key=lambda d: (
+                sizes.get((d.test_name, d.pair), 1 << 30),
+                d.test_name,
+                d.pair,
+            )
+        )
+    rows = []
+    for disc in ordered:
+        model, oracle = disc.pair
+        size: object = "-"
+        if sizes is not None:
+            size = sizes.get((disc.test_name, disc.pair), "-")
+        rows.append(
+            [
+                disc.test_name,
+                f"{model}:{oracle}",
+                disc.machine_only,
+                disc.axiomatic_only,
+                size,
+            ]
+        )
+    table = render_table(
+        ["test", "pair", "machine-only", "axioms-only", "instrs"],
+        rows,
+        title=title,
+    )
+    return table + f"\n{len(ordered)} discrepanc{'y' if len(ordered) == 1 else 'ies'}"
 
 
 def parse_pair(spec: str) -> tuple[str, str]:

@@ -10,12 +10,16 @@ list.  Accepted specs::
 
     paper | standard | all        the static catalogues
     gen:edges=4[,size=50][,seed=7]  a generated suite (deterministic)
+    rand:n=50[,seed=7,...]        a seeded randprog corpus (deterministic)
     path/to/test.litmus           one parsed file
     path/to/dir/                  every *.litmus file in a directory
 
 so ``repro matrix --suite gen:edges=4 --jobs 4`` pushes an unbounded,
-systematically generated test space through the PR-1 batch engine, and
-``repro matrix --suite ./mytests/`` does the same for external corpora.
+systematically generated test space through the PR-1 batch engine,
+``repro hunt --oracle operational --suite rand:n=200`` fuzzes the
+abstract machines against the axioms over an addressable random corpus,
+and ``repro matrix --suite ./mytests/`` does the same for external
+corpora.
 """
 
 from __future__ import annotations
@@ -32,6 +36,7 @@ __all__ = [
     "SuiteRegistry",
     "resolve_suite",
     "parse_gen_spec",
+    "parse_rand_spec",
     "shard_suite",
     "STATIC_SUITES",
 ]
@@ -171,6 +176,54 @@ def parse_gen_spec(spec: str) -> dict:
     return kwargs
 
 
+def parse_rand_spec(spec: str) -> dict:
+    """Parse ``rand:key=value,...`` into randprog corpus parameters.
+
+    Accepted keys: ``n`` (corpus size), ``seed``, and the generator
+    knobs ``procs`` / ``instrs`` / ``locs``.  ``rand`` alone means the
+    defaults (``n=10, seed=0`` with the stock
+    :class:`~repro.equivalence.randprog.RandomProgramConfig`).
+    """
+    body = spec[len("rand"):].lstrip(":")
+    kwargs: dict = {}
+    known = {
+        "n": "count",
+        "seed": "seed",
+        "procs": "num_procs",
+        "instrs": "max_instrs",
+        "locs": "num_locations",
+    }
+    for item in body.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        key, eq, value = item.partition("=")
+        if key not in known or not eq:
+            raise ValueError(
+                f"bad randprog spec entry {item!r}; "
+                f"expected rand:n=N[,seed=S][,procs=P][,instrs=I][,locs=L]"
+            )
+        try:
+            kwargs[known[key]] = int(value)
+        except ValueError:
+            raise ValueError(
+                f"randprog spec value for {key!r} must be an integer, "
+                f"got {value!r}"
+            ) from None
+    return kwargs
+
+
+def _random_corpus(spec: str) -> list[LitmusTest]:
+    """Materialize a ``rand:`` spec — deterministic per (seed, knobs)."""
+    from ...equivalence.randprog import RandomProgramConfig, random_suite
+
+    params = parse_rand_spec(spec)
+    count = params.pop("count", 10)
+    seed = params.pop("seed", 0)
+    config = RandomProgramConfig(**params) if params else None
+    return random_suite(count, seed=seed, config=config)
+
+
 def shard_suite(
     tests: Sequence[LitmusTest], shard_index: int, num_shards: int
 ) -> list[LitmusTest]:
@@ -202,9 +255,11 @@ def resolve_suite(spec: str) -> list[LitmusTest]:
         return list(registry.all_tests())
     if spec == "gen" or spec.startswith("gen:"):
         return generate_suite(**parse_gen_spec(spec))
+    if spec == "rand" or spec.startswith("rand:"):
+        return _random_corpus(spec)
     if os.path.exists(spec):
         return load_litmus_path(spec)
     raise KeyError(
         f"unknown suite {spec!r}; expected one of {', '.join(STATIC_SUITES)}, "
-        "a gen:... spec, or a .litmus file/directory path"
+        "a gen:... or rand:... spec, or a .litmus file/directory path"
     )

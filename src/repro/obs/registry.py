@@ -86,14 +86,27 @@ METRICS: dict[str, MetricSpec] = {
             "Evaluated cells that were `OutcomeSpec` (full enumeration) queries.",
         ),
         _counter(
-            "engine.cells.equiv",
-            "cells",
-            "Evaluated cells that were `EquivSpec` (pairwise equivalence) queries.",
-        ),
-        _counter(
             "engine.batches",
             "batches",
             "Per-test batches dispatched (each shares one `CandidatePrefix`).",
+        ),
+        # --- engine: oracle routing -------------------------------------
+        _counter(
+            "engine.oracle.axiomatic",
+            "cells",
+            "Evaluated cells answered by axiomatic enumeration.",
+        ),
+        _counter(
+            "engine.oracle.operational",
+            "cells",
+            "Evaluated cells answered by abstract-machine exploration.",
+        ),
+        _counter(
+            "engine.oracle.operational.by",
+            "cells",
+            "Operational cells keyed by machine name (e.g. "
+            "`engine.oracle.operational.by.gam`).",
+            dynamic=True,
         ),
         # --- engine: axiomatic dispatch --------------------------------
         _counter(
@@ -138,13 +151,15 @@ METRICS: dict[str, MetricSpec] = {
         _counter(
             "engine.cache.hit.by",
             "lookups",
-            "Cache hits keyed by model display name (or equiv pair name).",
+            "Cache hits keyed by model display name (or oracle string for "
+            "operational cells).",
             dynamic=True,
         ),
         _counter(
             "engine.cache.miss.by",
             "lookups",
-            "Cache misses keyed by model display name (or equiv pair name).",
+            "Cache misses keyed by model display name (or oracle string for "
+            "operational cells).",
             dynamic=True,
         ),
         # --- kernel: frontier DP ---------------------------------------
@@ -164,6 +179,22 @@ METRICS: dict[str, MetricSpec] = {
             "prunes",
             "Candidate combos skipped because required register values "
             "are unreachable under any load ordering.",
+        ),
+        # --- operational machine exploration ---------------------------
+        _counter(
+            "operational.explore.runs",
+            "explorations",
+            "Exhaustive GAM-machine explorations performed.",
+        ),
+        _counter(
+            "operational.explore.states",
+            "states",
+            "Distinct machine states visited across all explorations.",
+        ),
+        _counter(
+            "operational.explore.terminals",
+            "states",
+            "Terminal machine states reached across all explorations.",
         ),
         # --- campaign driver -------------------------------------------
         _counter(
@@ -185,7 +216,8 @@ METRICS: dict[str, MetricSpec] = {
         _counter(
             "campaign.discrepancies",
             "discrepancies",
-            "Model-pair discrepancies mined from the verdict table.",
+            "Discrepancies mined from shard results (model-pair verdict "
+            "splits or axiomatic-vs-operational outcome-set divergences).",
         ),
         _counter(
             "campaign.witnesses",
@@ -206,6 +238,10 @@ METRICS: dict[str, MetricSpec] = {
         _timer(
             "engine.cell.seconds",
             "Wall time of each individual cell evaluation (cache misses).",
+        ),
+        _timer(
+            "operational.explore.time",
+            "Wall time of each exhaustive GAM-machine exploration.",
         ),
         _timer(
             "campaign.shard.seconds",

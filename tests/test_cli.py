@@ -66,8 +66,21 @@ class TestShowAndCheck:
         out = capsys.readouterr().out
         assert "FORBIDDEN" in out and "abstract machine" in out
 
-    def test_check_operational_rejects_other_models(self, capsys):
-        assert main(["check", "corr", "-m", "sc", "--operational"]) == 2
+    def test_check_operational_reference_machines(self, capsys):
+        # sc/tso gained machines with the oracle abstraction; they run
+        # through the same engine path as gam/gam0.
+        assert main(["check", "dekker", "-m", "sc", "--operational"]) == 0
+        out = capsys.readouterr().out
+        assert "FORBIDDEN" in out and "abstract machine" in out
+
+    def test_check_operational_rejects_machineless_models(self, capsys):
+        assert main(["check", "corr", "-m", "arm", "--operational"]) == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert (
+            captured.err
+            == "error: --operational supports models: gam, gam0, sc, tso\n"
+        )
 
     def test_check_unknown_test(self, capsys):
         assert main(["check", "not-a-test"]) == 2

@@ -18,7 +18,6 @@ from repro.core.axiomatic import (
     is_allowed,
 )
 from repro.engine import (
-    EquivSpec,
     OutcomeSpec,
     ResultCache,
     VerdictSpec,
@@ -106,7 +105,7 @@ class TestCache:
         cells = [
             VerdictSpec(test, "gam"),
             OutcomeSpec(test, "sc", project="full"),
-            EquivSpec(test, "gam"),
+            OutcomeSpec(test, "gam", project="full", oracle="operational:gam"),
         ]
         fresh = evaluate_cells(cells, cache_dir=cache)
         assert len(list((tmp_path / "cache").glob("*.json"))) == 3
