@@ -12,7 +12,11 @@ interrupt and re-invoke:
 2. **Mining** — the accumulated records are pivoted into a verdict table
    (in suite order, independent of which run produced which shard) and
    every model-pair disagreement becomes a
-   :class:`~repro.eval.discrepancy.Discrepancy`.
+   :class:`~repro.eval.discrepancy.Discrepancy`.  Tests an
+   :class:`~repro.engine.ExecutionPolicy` quarantined (crash, deadline,
+   poison test) are excluded from the table, re-derived from the shard
+   records into ``quarantine.json``, and listed in the report — skipped
+   work is reported, never silently dropped.
 3. **Minimization** — each discrepant test is greedily shrunk while the
    pair still disagrees (:mod:`.minimize`), written to
    ``witnesses/*.litmus``, re-parsed, and re-checked through the standard
@@ -32,12 +36,20 @@ from that guarantee).
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Callable, Mapping, Optional, Sequence
 
 from typing import Union
 
-from ..engine import ModelLike, OutcomeSpec, VerdictSpec, evaluate_cells
+from ..engine import (
+    CellFailure,
+    ExecutionPolicy,
+    FaultPlan,
+    ModelLike,
+    OutcomeSpec,
+    VerdictSpec,
+    evaluate_cells,
+)
 from ..eval.discrepancy import (
     Discrepancy,
     OracleDiscrepancy,
@@ -124,6 +136,9 @@ class HuntReport:
         discrepancies: every mined (test, pair) disagreement.
         witnesses: one record per discrepancy, ranking order.
         text: the rendered report (also written to ``report.txt``).
+        quarantined: test name → failure record (reason, message,
+            traceback, attempts, shard) for tests the execution policy
+            quarantined; empty for fault-free default-policy runs.
     """
 
     spec: CampaignSpec
@@ -131,6 +146,7 @@ class HuntReport:
     discrepancies: tuple[AnyDiscrepancy, ...]
     witnesses: tuple[WitnessRecord, ...]
     text: str
+    quarantined: Mapping[str, dict] = field(default_factory=dict)
 
     @property
     def witness_paths(self) -> tuple[str, ...]:
@@ -150,6 +166,78 @@ def _witness_stem(disc: AnyDiscrepancy) -> str:
     return re.sub(r"[^A-Za-z0-9._+=-]+", "-", stem).strip("-")
 
 
+def _quarantined_entry(test: LitmusTest, failure: CellFailure) -> dict:
+    """The shard-record entry for a batch the policy quarantined.
+
+    Replaces the ``verdicts``/``oracle`` key with the tagged failure
+    record, so the quarantine travels inside the crash-safe shard file
+    and ``quarantine.json`` can always be re-derived from the shards.
+    """
+    return {
+        "name": test.name,
+        "instrs": instruction_count(test),
+        "quarantined": {
+            "reason": failure.reason,
+            "message": failure.message,
+            "traceback": failure.traceback,
+            "attempts": failure.attempts,
+        },
+    }
+
+
+class _Progress:
+    """Per-shard heartbeat/stall bookkeeping shared by both shard loops.
+
+    All wall-clock text it emits is gated on ``heartbeat`` (opt-in via
+    ``--stats``), so the default log output stays byte-identical run to
+    run.  Stall visibility has two halves: :meth:`on_stall` is the
+    engine's callback while one batch is *pending* (fires even though
+    ``on_batch`` cannot), and :meth:`note_batch` warns after the fact
+    when the gap since the previous completed batch exceeded the
+    configured deadline.
+    """
+
+    def __init__(
+        self,
+        log: Callable[[str], None],
+        heartbeat: bool,
+        stall_after: float,
+        label: str,
+        total: int,
+    ) -> None:
+        self.log = log
+        self.heartbeat = heartbeat
+        self.stall_after = stall_after
+        self.label = label
+        self.total = total
+        self.count = 0
+        self.started = monotonic()
+        self.last_batch = self.started
+
+    def on_stall(self, test: LitmusTest, waited: float) -> None:
+        """Engine stall callback: a batch has been pending too long."""
+        self.log(
+            f"  stall warning: {self.label} test {test.name!r} still "
+            f"evaluating after {waited:.1f}s (no batch completed for "
+            f"{monotonic() - self.last_batch:.1f}s)"
+        )
+
+    def note_batch(self) -> None:
+        """Heartbeat after each completed batch, flagging stalled gaps."""
+        now = monotonic()
+        gap = now - self.last_batch
+        self.last_batch = now
+        if not self.heartbeat:
+            return
+        line = (
+            f"  heartbeat: {self.label} {self.count}/{self.total} tests "
+            f"{now - self.started:.1f}s elapsed, {gap:.1f}s since last batch"
+        )
+        if self.stall_after > 0 and gap > self.stall_after:
+            line += f" (stalled past the {self.stall_after:g}s deadline)"
+        self.log(line)
+
+
 def _evaluate_shards(
     campaign: CampaignDir,
     spec: CampaignSpec,
@@ -159,12 +247,18 @@ def _evaluate_shards(
     jobs: int,
     log: Callable[[str], None],
     heartbeat: bool = False,
+    policy: Optional[ExecutionPolicy] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    stall_after: float = 30.0,
 ) -> None:
     """Run every incomplete shard's verdict grid and persist its record.
 
     ``heartbeat`` adds per-batch progress lines with elapsed wall time to
     the log — wall-clock text, so it is off unless stats were requested
-    (the default log output stays byte-identical run to run).
+    (the default log output stays byte-identical run to run).  Under a
+    ``skip``/``quarantine`` policy, batches the engine finalized as
+    :class:`~repro.engine.CellFailure` land in the shard record as
+    ``quarantined`` entries instead of verdicts.
     """
     for index in range(spec.num_shards):
         if campaign.load_shard(index) is not None:
@@ -183,31 +277,50 @@ def _evaluate_shards(
             for test in shard_tests
             for model in models
         ]
-        done = {"count": 0}
-        started = monotonic()
+        progress = _Progress(
+            log,
+            heartbeat,
+            stall_after,
+            f"shard {index + 1}/{spec.num_shards}",
+            len(shard_tests),
+        )
 
         def on_batch(test: LitmusTest, results: Sequence[object]) -> None:
-            done["count"] += 1
-            log(
-                f"  [{done['count']}/{len(shard_tests)}] {test.name}: "
-                + " ".join(
-                    f"{model}={'allow' if allowed else 'forbid'}"
-                    for model, allowed in zip(models, results)
-                )
-            )
-            if heartbeat:
+            progress.count += 1
+            first = results[0] if results else None
+            if isinstance(first, CellFailure):
+                noun = "attempt" if first.attempts == 1 else "attempts"
                 log(
-                    f"  heartbeat: shard {index + 1}/{spec.num_shards} "
-                    f"{done['count']}/{len(shard_tests)} tests "
-                    f"{monotonic() - started:.1f}s elapsed"
+                    f"  [{progress.count}/{len(shard_tests)}] {test.name}: "
+                    f"QUARANTINED ({first.reason}, {first.attempts} {noun})"
                 )
+            else:
+                log(
+                    f"  [{progress.count}/{len(shard_tests)}] {test.name}: "
+                    + " ".join(
+                        f"{model}={'allow' if allowed else 'forbid'}"
+                        for model, allowed in zip(models, results)
+                    )
+                )
+            progress.note_batch()
 
         with time_block("campaign.shard.seconds"):
             results = evaluate_cells(
-                cells, jobs=jobs, cache_dir=campaign.cache_dir, on_batch=on_batch
+                cells,
+                jobs=jobs,
+                cache_dir=campaign.cache_dir,
+                on_batch=on_batch,
+                policy=policy,
+                fault_plan=fault_plan,
+                on_stall=progress.on_stall if heartbeat else None,
+                stall_after=stall_after,
             )
             entries = []
             for position, test in enumerate(shard_tests):
+                first = results[position * len(models)]
+                if isinstance(first, CellFailure):
+                    entries.append(_quarantined_entry(test, first))
+                    continue
                 verdicts = {
                     model: bool(results[position * len(models) + offset])
                     for offset, model in enumerate(models)
@@ -239,6 +352,9 @@ def _evaluate_oracle_shards(
     jobs: int,
     log: Callable[[str], None],
     heartbeat: bool = False,
+    policy: Optional[ExecutionPolicy] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    stall_after: float = 30.0,
 ) -> None:
     """The operational-oracle analogue of :func:`_evaluate_shards`.
 
@@ -274,37 +390,56 @@ def _evaluate_oracle_shards(
                         oracle=oracle_label,
                     )
                 )
-        done = {"count": 0}
-        started = monotonic()
+        progress = _Progress(
+            log,
+            heartbeat,
+            stall_after,
+            f"shard {index + 1}/{spec.num_shards}",
+            len(shard_tests),
+        )
 
         def on_batch(test: LitmusTest, results: Sequence[object]) -> None:
-            done["count"] += 1
-            log(
-                f"  [{done['count']}/{len(shard_tests)}] {test.name}: "
-                + " ".join(
-                    f"{a}~{b}="
-                    + (
-                        "ok"
-                        if results[2 * offset] == results[2 * offset + 1]
-                        else "DIFF"
-                    )
-                    for offset, (a, b) in enumerate(concrete_pairs)
-                )
-            )
-            if heartbeat:
+            progress.count += 1
+            first = results[0] if results else None
+            if isinstance(first, CellFailure):
+                noun = "attempt" if first.attempts == 1 else "attempts"
                 log(
-                    f"  heartbeat: shard {index + 1}/{spec.num_shards} "
-                    f"{done['count']}/{len(shard_tests)} tests "
-                    f"{monotonic() - started:.1f}s elapsed"
+                    f"  [{progress.count}/{len(shard_tests)}] {test.name}: "
+                    f"QUARANTINED ({first.reason}, {first.attempts} {noun})"
                 )
+            else:
+                log(
+                    f"  [{progress.count}/{len(shard_tests)}] {test.name}: "
+                    + " ".join(
+                        f"{a}~{b}="
+                        + (
+                            "ok"
+                            if results[2 * offset] == results[2 * offset + 1]
+                            else "DIFF"
+                        )
+                        for offset, (a, b) in enumerate(concrete_pairs)
+                    )
+                )
+            progress.note_batch()
 
         with time_block("campaign.shard.seconds"):
             results = evaluate_cells(
-                cells, jobs=jobs, cache_dir=campaign.cache_dir, on_batch=on_batch
+                cells,
+                jobs=jobs,
+                cache_dir=campaign.cache_dir,
+                on_batch=on_batch,
+                policy=policy,
+                fault_plan=fault_plan,
+                on_stall=progress.on_stall if heartbeat else None,
+                stall_after=stall_after,
             )
             width = 2 * len(concrete_pairs)
             entries = []
             for position, test in enumerate(shard_tests):
+                first = results[position * width]
+                if isinstance(first, CellFailure):
+                    entries.append(_quarantined_entry(test, first))
+                    continue
                 divergences = {}
                 for offset, pair in enumerate(concrete_pairs):
                     axiomatic = results[position * width + 2 * offset]
@@ -343,12 +478,14 @@ def _oracle_table(
         if record is None:  # unreachable after _evaluate_oracle_shards
             raise CampaignError(f"shard {index} is missing its record")
         for entry in record["tests"]:
+            if "quarantined" in entry:
+                continue
             by_name[entry["name"]] = {
                 label: (int(machine_only), int(axiomatic_only))
                 for label, (machine_only, axiomatic_only)
                 in entry["oracle"].items()
             }
-    return {test.name: by_name[test.name] for test in tests}
+    return {test.name: by_name[test.name] for test in tests if test.name in by_name}
 
 
 def _verdict_table(
@@ -359,7 +496,9 @@ def _verdict_table(
     """Pivot the accumulated shard records into suite order.
 
     Suite order (not shard-completion order) keys the table, so mining is
-    independent of *which run* produced each shard.
+    independent of *which run* produced each shard.  Quarantined tests
+    have no verdicts and are excluded — mining proceeds over the
+    surviving cells.
     """
     by_name: dict[str, dict[str, bool]] = {}
     for index in range(spec.num_shards):
@@ -367,8 +506,32 @@ def _verdict_table(
         if record is None:  # unreachable after _evaluate_shards
             raise CampaignError(f"shard {index} is missing its record")
         for entry in record["tests"]:
+            if "quarantined" in entry:
+                continue
             by_name[entry["name"]] = entry["verdicts"]
-    return {test.name: by_name[test.name] for test in tests}
+    return {test.name: by_name[test.name] for test in tests if test.name in by_name}
+
+
+def _quarantine_records(
+    campaign: CampaignDir, spec: CampaignSpec
+) -> dict[str, dict]:
+    """Derive the quarantine map (test name → failure record) from shards.
+
+    The shard records are the single source of truth: ``quarantine.json``
+    is rebuilt from them on every run, which makes it automatically
+    crash-safe (a killed run re-derives it) and resume-correct (records
+    from previous runs' shards are still there).
+    """
+    records: dict[str, dict] = {}
+    for index in range(spec.num_shards):
+        record = campaign.load_shard(index)
+        if record is None:  # unreachable after shard evaluation
+            raise CampaignError(f"shard {index} is missing its record")
+        for entry in record["tests"]:
+            info = entry.get("quarantined")
+            if info is not None:
+                records[entry["name"]] = dict(info, shard=index)
+    return records
 
 
 def _minimize_and_write(
@@ -508,6 +671,7 @@ def _render_report(
     tests_evaluated: int,
     discrepancies: Sequence[AnyDiscrepancy],
     witnesses: Sequence[WitnessRecord],
+    quarantined: Optional[Mapping[str, dict]] = None,
 ) -> str:
     """The human-readable hunt report, smallest witness first."""
     pairs = " ".join(":".join(pair) for pair in spec.pairs)
@@ -541,6 +705,23 @@ def _render_report(
             lines.append(
                 f"  {record.relpath}  "
                 f"{record.original_instrs} -> {record.minimized_instrs} instrs"
+            )
+    # Rendered only when non-empty, and without wall-clock text or
+    # tracebacks, so fault-free reports stay byte-identical to the
+    # pre-policy format and resumed reports stay byte-stable.
+    if quarantined:
+        lines.append("")
+        lines.append(
+            f"quarantined: {len(quarantined)} test(s) excluded from mining "
+            "(see quarantine.json):"
+        )
+        for name in sorted(quarantined):
+            info = quarantined[name]
+            attempts = int(info.get("attempts", 1))
+            noun = "attempt" if attempts == 1 else "attempts"
+            lines.append(
+                f"  {name}: {info.get('reason', 'error')} "
+                f"after {attempts} {noun}"
             )
     return "\n".join(lines) + "\n"
 
@@ -577,6 +758,9 @@ def run_hunt(
     log: Optional[Callable[[str], None]] = None,
     heartbeat: bool = False,
     oracle: Optional[str] = None,
+    policy: Optional[ExecutionPolicy] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    stall_after: float = 30.0,
 ) -> HuntReport:
     """Run (or resume) a differential hunt campaign in ``out``.
 
@@ -613,6 +797,19 @@ def run_hunt(
             default) or ``"operational"`` (axiomatic-vs-machine
             outcome-set hunting over *all* suite tests, asked or not).
             Optional when resuming: the stored spec supplies it.
+        policy: the :class:`~repro.engine.ExecutionPolicy` for shard
+            evaluation (``--timeout/--retries/--on-error``).  Under
+            ``skip``/``quarantine`` a failing, hanging or crashing test
+            no longer aborts the hunt: its batch becomes a ``quarantined``
+            shard entry, mining proceeds over the surviving cells, and
+            the failure records are persisted to ``quarantine.json``.
+            Like ``jobs``, the policy is *not* part of the campaign's
+            identity — a campaign may be resumed under a different one.
+        fault_plan: a :class:`~repro.engine.FaultPlan` for the
+            deterministic fault-injection harness (chaos tests;
+            defaults to the ``REPRO_FAULTS`` environment variable).
+        stall_after: seconds without batch progress before stall
+            warnings fire (heartbeat runs only).
 
     Returns:
         the :class:`HuntReport`; identical for identical specs no matter
@@ -743,10 +940,35 @@ def run_hunt(
                 jobs,
                 log,
                 heartbeat,
+                policy,
+                fault_plan,
+                stall_after,
             )
         else:
             _evaluate_shards(
-                campaign, spec, tests, model_names, lookup, jobs, log, heartbeat
+                campaign,
+                spec,
+                tests,
+                model_names,
+                lookup,
+                jobs,
+                log,
+                heartbeat,
+                policy,
+                fault_plan,
+                stall_after,
+            )
+
+        # Quarantine records are derived from the shard files (the crash
+        # safety comes from re-deriving, not from keeping the two in
+        # sync) and persisted before mining, so even a run that dies
+        # mid-minimization reports what it skipped.
+        quarantined = _quarantine_records(campaign, spec)
+        campaign.write_quarantine(quarantined)
+        if quarantined:
+            log(
+                f"quarantined {len(quarantined)} test(s); "
+                "records in quarantine.json"
             )
 
         with time_block("campaign.mine.seconds"):
@@ -766,17 +988,26 @@ def run_hunt(
             campaign, discrepancies, tests_by_name, lookup, log
         )
 
-        text = _render_report(spec, len(tests), discrepancies, witnesses)
-        campaign.write_report(
-            text,
-            {
-                "campaign": spec.to_json(),
-                "tests_evaluated": len(tests),
-                "discrepancies": [
-                    _witness_json(record) for record in witnesses
-                ],
-            },
-        )
+        text = _render_report(spec, len(tests), discrepancies, witnesses, quarantined)
+        report_data = {
+            "campaign": spec.to_json(),
+            "tests_evaluated": len(tests),
+            "discrepancies": [
+                _witness_json(record) for record in witnesses
+            ],
+        }
+        if quarantined:
+            # Key present only when non-empty: fault-free reports keep
+            # the historical payload byte-for-byte.
+            report_data["quarantined"] = {
+                name: {
+                    "reason": info.get("reason", "error"),
+                    "attempts": int(info.get("attempts", 1)),
+                    "shard": int(info.get("shard", 0)),
+                }
+                for name, info in sorted(quarantined.items())
+            }
+        campaign.write_report(text, report_data)
         meta = {
             "suite": spec.suite,
             "shards": spec.num_shards,
@@ -785,6 +1016,12 @@ def run_hunt(
         }
         if spec.oracle != ORACLE_AXIOMATIC:
             meta["oracle"] = spec.oracle
+        if policy is not None:
+            meta["policy"] = {
+                "timeout": policy.timeout,
+                "retries": policy.retries,
+                "on_error": policy.on_error,
+            }
         stats = RunReport.from_snapshot(
             recorder.snapshot(), command="hunt", meta=meta
         )
@@ -795,4 +1032,5 @@ def run_hunt(
         discrepancies=tuple(discrepancies),
         witnesses=tuple(witnesses),
         text=text,
+        quarantined=quarantined,
     )

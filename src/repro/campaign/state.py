@@ -13,6 +13,11 @@ A campaign directory is the on-disk identity of a hunt.  Layout::
                              are never re-evaluated)
         witnesses/*.litmus   minimized diverging tests
         report.txt / report.json   the ranked hunt report
+        quarantine.json      per-test failure records (tagged reason,
+                             message, traceback, attempt count, shard)
+                             for batches an ExecutionPolicy quarantined;
+                             derived from the shard records on every run,
+                             so it is crash-safe and resumable for free
         stats.json           this run's telemetry report (repro.obs
                              RunReport; overwritten per run, rendered
                              and diffed by ``repro stats``)
@@ -53,6 +58,9 @@ __all__ = [
 
 CAMPAIGN_VERSION = 1
 """On-disk campaign layout version; bumped on incompatible changes."""
+
+QUARANTINE_VERSION = 1
+"""``quarantine.json`` payload version; bumped on incompatible changes."""
 
 ORACLE_AXIOMATIC = "axiomatic"
 """Campaign oracle mode: model-vs-model verdict hunts (the default)."""
@@ -252,7 +260,11 @@ class CampaignSpec:
         num_shards: how many deterministic chunks the suite is split into.
         suite_digest: content digest of the *resolved* suite (see
             :func:`suite_digest`); ``""`` means unchecked.
-        engine_version / campaign_version: staleness guards.
+        engine_version / campaign_version: staleness guards.  Execution
+            policy (deadlines/retries/``on_error``) is deliberately *not*
+            part of the identity, like ``jobs``: it changes how failures
+            are handled, never what a recorded verdict means, so a
+            campaign may be resumed under a different policy.
         oracle: :data:`ORACLE_AXIOMATIC` (model-vs-model verdict hunts)
             or :data:`ORACLE_OPERATIONAL` (axiomatic-vs-machine outcome
             hunts).
@@ -459,6 +471,59 @@ class CampaignDir:
         """Persist the final hunt report (text + machine-readable JSON)."""
         _write_json_atomic(self.root / "report.json", data)
         _write_text_atomic(self.root / "report.txt", text)
+
+    @property
+    def quarantine_path(self) -> pathlib.Path:
+        """Path of ``quarantine.json``."""
+        return self.root / "quarantine.json"
+
+    def write_quarantine(self, records: dict) -> None:
+        """Persist the quarantine records (atomic).
+
+        ``records`` maps test name → ``{reason, message, traceback,
+        attempts, shard}``.  The file is *derived* state — rebuilt from
+        the shard records on every run — so interrupted runs can never
+        leave it inconsistent with the shards, and resume gets it right
+        for free.  An empty record set removes the file rather than
+        leaving a stale one behind.
+        """
+        if not records:
+            try:
+                self.quarantine_path.unlink()
+            except OSError:
+                pass
+            return
+        _write_json_atomic(
+            self.quarantine_path,
+            {"quarantine_version": QUARANTINE_VERSION, "records": records},
+        )
+
+    def load_quarantine(self) -> dict:
+        """The stored quarantine records (empty when none were written).
+
+        Raises :class:`CampaignError` on an unreadable or wrong-version
+        payload — a malformed quarantine file means the directory was
+        tampered with, not that nothing was quarantined.
+        """
+        try:
+            text = self.quarantine_path.read_text()
+        except FileNotFoundError:
+            return {}
+        except OSError as exc:
+            raise CampaignError(
+                f"unreadable quarantine state {self.quarantine_path}: {exc}"
+            ) from exc
+        try:
+            payload = json.loads(text)
+        except ValueError as exc:
+            raise CampaignError(
+                f"unreadable quarantine state {self.quarantine_path}: {exc}"
+            ) from exc
+        if payload.get("quarantine_version") != QUARANTINE_VERSION:
+            raise CampaignError(
+                f"unsupported quarantine_version in {self.quarantine_path}"
+            )
+        return dict(payload.get("records", {}))
 
     @property
     def stats_path(self) -> pathlib.Path:

@@ -30,6 +30,9 @@ Commands:
   run report (a ``stats.json`` file or a campaign directory), or diff
   the counters of two (see :mod:`repro.obs` and
   ``docs/observability.md``);
+* ``cache stats DIR`` / ``cache purge DIR --stale-tmp [--older-than S]``
+  — inspect an engine result cache (entry and orphaned temp-file
+  counts/bytes) and sweep stale ``*.tmp`` debris left by killed runs;
 * ``import FILE [FILE ...]`` — parse and validate ``.litmus`` files;
 * ``export [--suite SUITE] [-o DIR]`` — print/write tests as ``.litmus``;
 * ``model show MODEL`` / ``model import FILE ...`` /
@@ -63,6 +66,13 @@ operational``) flow through the same engine and cache, keyed by the
 abstract-machine variant instead of model clauses.  The defaults (one
 process, no cache) produce output identical to the historical serial
 path.
+
+The same commands take the fault-tolerance flags ``--timeout S``
+(per-batch deadline), ``--retries N`` (re-run failed batches) and
+``--on-error {fail,skip,quarantine}`` (what a failed batch becomes after
+retries — see ``docs/robustness.md``).  The defaults (no deadline, no
+retries, fail) leave behaviour and output byte-identical to a build
+without the flags.
 
 The evaluating commands (``matrix``, ``check``, ``equiv``, ``strength``,
 ``hunt``) also take ``--stats [text|json]``: the run executes under an
@@ -120,6 +130,25 @@ def _resolve_model(spec: str):
     return resolve_model(spec)
 
 
+def _policy_from_args(args: argparse.Namespace):
+    """The :class:`ExecutionPolicy` the fault-tolerance flags describe.
+
+    Returns ``None`` — not ``DEFAULT_POLICY`` — when every flag is at its
+    default, so the engine's default dispatch path (and its
+    byte-identical output) is untouched by the flags merely existing.
+    """
+    if args.timeout is None and args.retries == 0 and args.on_error == "fail":
+        return None
+    from .engine import ExecutionPolicy
+
+    try:
+        return ExecutionPolicy(
+            timeout=args.timeout, retries=args.retries, on_error=args.on_error
+        )
+    except ValueError as exc:
+        raise CLIUsageError(str(exc)) from exc
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -165,6 +194,33 @@ def build_parser() -> argparse.ArgumentParser:
             help="on-disk result cache directory (default: no cache)",
         )
 
+    def add_policy_flags(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument(
+            "--timeout",
+            type=float,
+            default=None,
+            metavar="S",
+            help="per-batch deadline in seconds; a batch past it is "
+            "killed and retried/failed per --on-error (default: none; "
+            "forces pooled execution so batches are killable)",
+        )
+        cmd.add_argument(
+            "--retries",
+            type=int,
+            default=0,
+            metavar="N",
+            help="re-run a failed batch up to N more times with "
+            "exponential backoff (default: 0)",
+        )
+        cmd.add_argument(
+            "--on-error",
+            choices=("fail", "skip", "quarantine"),
+            default="fail",
+            help="what a failed batch becomes once retries are spent: "
+            "fail raises (default), skip and quarantine record the "
+            "failure and keep going (see docs/robustness.md)",
+        )
+
     list_cmd = sub.add_parser("list", help="list catalogue contents")
     list_cmd.add_argument(
         "what",
@@ -197,6 +253,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(models with a machine: gam, gam0, sc, tso)",
     )
     add_engine_flags(check)
+    add_policy_flags(check)
     add_stats_flag(check)
 
     outcomes = sub.add_parser("outcomes", help="enumerate allowed outcomes")
@@ -225,6 +282,7 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"which test suite to evaluate ({suite_help})",
     )
     add_engine_flags(matrix)
+    add_policy_flags(matrix)
     add_stats_flag(matrix)
 
     equiv = sub.add_parser("equiv", help="axiomatic vs operational agreement")
@@ -241,6 +299,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated definition pairs (gam,gam0,sc,tso)",
     )
     add_engine_flags(equiv)
+    add_policy_flags(equiv)
     add_stats_flag(equiv)
 
     synth = sub.add_parser(
@@ -310,6 +369,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the lint pre-flight over the suite and expanded models",
     )
+    add_policy_flags(hunt)
     add_stats_flag(hunt)
 
     strength = sub.add_parser(
@@ -322,6 +382,7 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"which test suite to measure over ({suite_help})",
     )
     add_engine_flags(strength)
+    add_policy_flags(strength)
     add_stats_flag(strength)
 
     gen = sub.add_parser(
@@ -411,6 +472,42 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("text", "json"),
         default="text",
         help="single-report rendering (default: text; ignored when diffing)",
+    )
+
+    cache_cmd = sub.add_parser(
+        "cache", help="inspect and clean engine result caches"
+    )
+    cache_sub = cache_cmd.add_subparsers(dest="cache_command", required=True)
+
+    cache_stats = cache_sub.add_parser(
+        "stats", help="entry and temp-file counts/bytes for a cache directory"
+    )
+    cache_stats.add_argument(
+        "dir",
+        metavar="DIR",
+        help="cache directory (a --cache DIR or a campaign's cache/)",
+    )
+
+    cache_purge = cache_sub.add_parser(
+        "purge", help="delete stale cache debris (crash-orphaned temp files)"
+    )
+    cache_purge.add_argument(
+        "dir",
+        metavar="DIR",
+        help="cache directory (a --cache DIR or a campaign's cache/)",
+    )
+    cache_purge.add_argument(
+        "--stale-tmp",
+        action="store_true",
+        help="sweep orphaned *.tmp files left behind by killed workers",
+    )
+    cache_purge.add_argument(
+        "--older-than",
+        type=float,
+        default=3600.0,
+        metavar="SECONDS",
+        help="only remove temp files at least this old "
+        "(default: 3600 — an hour; live runs rename theirs within seconds)",
     )
 
     import_cmd = sub.add_parser(
@@ -552,7 +649,18 @@ def _cmd_check(args: argparse.Namespace) -> int:
     else:
         cell = VerdictSpec(test, _resolve_model(args.model))
         definition = "axioms"
-    [allowed] = evaluate_cells([cell], jobs=args.jobs, cache_dir=args.cache)
+    [allowed] = evaluate_cells(
+        [cell], jobs=args.jobs, cache_dir=args.cache,
+        policy=_policy_from_args(args),
+    )
+    from .engine import CellFailure
+
+    if isinstance(allowed, CellFailure):
+        print(
+            f"{test.name}: SKIPPED under {args.model} — {allowed.reason} "
+            f"after {allowed.attempts} attempt(s): {allowed.message}"
+        )
+        return 1
     verdict = "ALLOWED" if allowed else "FORBIDDEN"
     print(f"{test.name}: {test.asked} is {verdict} under {args.model} ({definition})")
     expected = test.expect.get(args.model)
@@ -612,7 +720,8 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
         render_matrix,
     )
     cells = litmus_matrix(
-        tests=_resolve_suite(args.suite), jobs=args.jobs, cache_dir=args.cache
+        tests=_resolve_suite(args.suite), jobs=args.jobs, cache_dir=args.cache,
+        policy=_policy_from_args(args),
     )
     # The paper suite keeps its historical figure-listing title; other
     # suites are not the paper's figures and are titled by their spec.
@@ -620,6 +729,12 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
         f"Litmus verdict matrix ({args.suite} suite)"
     )
     print(render_matrix(cells, title=title))
+    skipped = sorted({c.test_name for c in cells if c.failure is not None})
+    if skipped:
+        print(
+            f"{len(skipped)} test(s) skipped after engine failures: "
+            f"{', '.join(skipped)}"
+        )
     failures = conformance_failures(cells)
     if failures:
         print(f"{len(failures)} verdicts disagree with the paper")
@@ -645,9 +760,18 @@ def _cmd_equiv(args: argparse.Namespace) -> int:
         tests = list(paper_suite())
     status = 0
     reports = check_suite(
-        tests, pair_names=pair_names, jobs=args.jobs, cache_dir=args.cache
+        tests, pair_names=pair_names, jobs=args.jobs, cache_dir=args.cache,
+        policy=_policy_from_args(args),
     )
     for report in reports:
+        if report.failure is not None:
+            # An unanswered comparison is reported but does not fail the
+            # run — that is exactly what skip/quarantine opted into.
+            print(
+                f"skip {report.test_name:24s} {report.pair_name:5s} "
+                f"({report.failure})"
+            )
+            continue
         mark = "ok " if report.equivalent else "DIFF"
         print(
             f"{mark} {report.test_name:24s} {report.pair_name:5s} "
@@ -713,6 +837,7 @@ def _cmd_hunt(args: argparse.Namespace) -> int:
         lint=not args.no_lint,
         log=print,
         oracle=args.oracle,
+        policy=_policy_from_args(args),
         # Heartbeat lines ride with --stats so the default hunt log stays
         # byte-identical to the pre-telemetry output.
         heartbeat=args.stats is not None,
@@ -726,7 +851,8 @@ def _cmd_strength(args: argparse.Namespace) -> int:
     from .eval.strength import render_strength, strength_matrix
 
     matrix = strength_matrix(
-        tests=_resolve_suite(args.suite), jobs=args.jobs, cache_dir=args.cache
+        tests=_resolve_suite(args.suite), jobs=args.jobs, cache_dir=args.cache,
+        policy=_policy_from_args(args),
     )
     print(render_strength(matrix))
     return 0
@@ -909,6 +1035,41 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    import os
+    import time
+
+    from .engine import ResultCache
+
+    # Guard before ResultCache touches the path: the constructor creates
+    # missing directories, and a typo'd path must not become one.
+    if not os.path.isdir(args.dir):
+        raise CLIUsageError(f"not a cache directory: {args.dir!r}")
+    cache = ResultCache(args.dir)
+    if args.cache_command == "stats":
+        stats = cache.stats()
+        print(f"cache {args.dir}")
+        print(f"  entries:         {stats.entries} ({stats.entry_bytes} bytes)")
+        print(f"  stale tmp files: {stats.tmp_files} ({stats.tmp_bytes} bytes)")
+        return 0
+    # purge
+    if not args.stale_tmp:
+        raise CLIUsageError(
+            "nothing selected to purge; pass --stale-tmp to sweep "
+            "orphaned temp files"
+        )
+    # The clock read stays here in the CLI: the engine's cache method
+    # takes `now` as data so the engine itself stays clock-free (R005).
+    removed, reclaimed = cache.purge_stale_tmp(
+        older_than=args.older_than, now=time.time()
+    )
+    print(
+        f"removed {removed} stale tmp file(s) older than "
+        f"{args.older_than:g}s ({reclaimed} bytes reclaimed)"
+    )
+    return 0
+
+
 def _cmd_export(args: argparse.Namespace) -> int:
     from .litmus.frontend.printer import print_litmus
 
@@ -1029,6 +1190,7 @@ _COMMANDS = {
     "gen": _cmd_gen,
     "lint": _cmd_lint,
     "stats": _cmd_stats,
+    "cache": _cmd_cache,
     "import": _cmd_import,
     "export": _cmd_export,
     "model": _cmd_model,

@@ -25,18 +25,19 @@ Architecture::
         │  grouped per test, order preserved
         ▼
     scheduler ── jobs=1 ──► in-process batches
-        │                       │
-        │  jobs>1               │ one CandidatePrefix per test:
-        ▼                       │   value domains + program runs
-    multiprocessing pool        │   + candidate bases, shared by
-    (one batch per task,        │   every model; static-ppo DAGs and
-     pool.map keeps results     │   (mo, rf) enumerations memoized
-     deterministic)             │   per clause set
-        │                       ▼
-        └──────────────► ResultCache (optional, content-hashed JSON;
-                         key = test content + oracle (model clauses or
-                         machine variant) + ENGINE_VERSION, so entries
-                         can't go stale)
+        │   (no deadline)        │
+        │  jobs>1 or deadline    │ one CandidatePrefix per test:
+        ▼                        │   value domains + program runs
+    ProcessPoolExecutor          │   + candidate bases, shared by
+    (one batch per future,       │   every model; static-ppo DAGs and
+     consumed in submission      │   (mo, rf) enumerations memoized
+     order = deterministic;      │   per clause set
+     killable: deadlines and     │
+     crashed workers recover     ▼
+     per ExecutionPolicy)   ResultCache (optional, content-hashed JSON;
+        │                   key = test content + oracle (model clauses
+        └─────────────────► or machine variant) + ENGINE_VERSION, so
+                            entries can't go stale)
 
 The three layers:
 
@@ -47,7 +48,13 @@ The three layers:
   (errors travel back as data and re-raise with the offending test's
   name), and deterministic result ordering;
 * :mod:`repro.engine.cache` — the optional on-disk result cache that
-  makes repeated ``matrix`` / ``strength`` / CI runs incremental.
+  makes repeated ``matrix`` / ``strength`` / CI runs incremental;
+* :mod:`repro.engine.policy` + :mod:`repro.engine.faults` — the
+  fault-tolerance layer: :class:`~repro.engine.policy.ExecutionPolicy`
+  (per-batch deadlines, bounded retries with backoff, ``on_error =
+  fail | skip | quarantine``) decides what failed batches become, and
+  the deterministic fault-injection harness (``REPRO_FAULTS`` /
+  ``fault_plan=``) keeps every recovery path under test.
 
 ``eval.litmus_matrix``, ``eval.strength`` and ``equivalence.checker`` are
 wired through :func:`evaluate_cells`; the ``matrix`` / ``strength`` /
@@ -69,7 +76,7 @@ or the cache.
 
 from __future__ import annotations
 
-from .cache import ResultCache, cell_cache_key
+from .cache import CacheStats, ResultCache, cell_cache_key
 from .cells import (
     ENGINE_VERSION,
     ORACLE_AXIOMATIC,
@@ -83,6 +90,22 @@ from .cells import (
     operational_machines,
     oracle_descriptor,
     parse_oracle,
+)
+from .faults import (
+    FAULT_KINDS,
+    FAULTS_ENV_VAR,
+    FaultAction,
+    FaultPlan,
+    InjectedFault,
+    fault_plan_from_env,
+    parse_fault_plan,
+)
+from .policy import (
+    DEFAULT_POLICY,
+    FAILURE_REASONS,
+    ON_ERROR_MODES,
+    CellFailure,
+    ExecutionPolicy,
 )
 from .scheduler import EngineWorkerError, evaluate_cells
 
@@ -103,4 +126,17 @@ __all__ = [
     "oracle_descriptor",
     "parse_oracle",
     "EngineWorkerError",
+    "CacheStats",
+    "CellFailure",
+    "DEFAULT_POLICY",
+    "ExecutionPolicy",
+    "FAILURE_REASONS",
+    "ON_ERROR_MODES",
+    "FAULT_KINDS",
+    "FAULTS_ENV_VAR",
+    "FaultAction",
+    "FaultPlan",
+    "InjectedFault",
+    "fault_plan_from_env",
+    "parse_fault_plan",
 ]

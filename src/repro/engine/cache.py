@@ -17,6 +17,7 @@ a torn entry.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import json
 import os
@@ -37,7 +38,7 @@ from .cells import (
     model_display_name,
 )
 
-__all__ = ["ResultCache", "cell_cache_key"]
+__all__ = ["CacheStats", "ResultCache", "cell_cache_key"]
 
 
 def cell_cache_key(cell: CellSpec) -> str:
@@ -112,6 +113,23 @@ def _decode(cell: CellSpec, payload: dict) -> CellResult:
     raise TypeError(f"unknown cell spec {cell!r}")
 
 
+@dataclasses.dataclass(frozen=True)
+class CacheStats:
+    """A point-in-time inventory of a cache directory.
+
+    ``tmp_files`` counts orphaned ``*.tmp`` spool files — the residue of
+    writers that died between ``mkstemp`` and the atomic rename (a
+    SIGKILLed pool worker, a machine crash).  They are invisible to
+    lookups but accumulate bytes forever unless swept by
+    :meth:`ResultCache.purge_stale_tmp`.
+    """
+
+    entries: int
+    entry_bytes: int
+    tmp_files: int
+    tmp_bytes: int
+
+
 class ResultCache:
     """A directory of content-addressed cell results."""
 
@@ -121,6 +139,55 @@ class ResultCache:
 
     def _path(self, key: str) -> pathlib.Path:
         return self.root / f"{key}.json"
+
+    def entry_path(self, cell: CellSpec) -> pathlib.Path:
+        """Where ``cell``'s result lives (whether or not it exists yet)."""
+        return self._path(cell_cache_key(cell))
+
+    def stats(self) -> CacheStats:
+        """Count committed entries and orphaned temp files, with sizes.
+
+        Files that vanish mid-scan (a concurrent purge or rename) are
+        simply skipped — the inventory is advisory, not transactional.
+        """
+        entries = entry_bytes = tmp_files = tmp_bytes = 0
+        for path in sorted(self.root.iterdir()):
+            try:
+                size = path.stat().st_size
+            except OSError:
+                continue
+            if path.suffix == ".json":
+                entries += 1
+                entry_bytes += size
+            elif path.suffix == ".tmp":
+                tmp_files += 1
+                tmp_bytes += size
+        return CacheStats(entries, entry_bytes, tmp_files, tmp_bytes)
+
+    def purge_stale_tmp(self, older_than: float, now: float) -> tuple[int, int]:
+        """Delete orphaned ``*.tmp`` files older than ``older_than`` seconds.
+
+        ``now`` is the caller's wall-clock reading (``time.time()``),
+        passed in rather than read here so the engine itself stays free
+        of raw clock reads; ages are judged against file mtimes.  Young
+        temp files are left alone — they may belong to a live writer.
+        Returns ``(files_removed, bytes_reclaimed)``.
+        """
+        removed = reclaimed = 0
+        for path in sorted(self.root.glob("*.tmp")):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            if now - stat.st_mtime < older_than:
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            removed += 1
+            reclaimed += stat.st_size
+        return removed, reclaimed
 
     def load(self, cell: CellSpec) -> Optional[CellResult]:
         """The cached result for ``cell``, or ``None`` on a miss.

@@ -75,7 +75,7 @@ __all__ = [
     "evaluate_cell",
 ]
 
-ENGINE_VERSION = 4
+ENGINE_VERSION = 5
 """Bumped whenever engine/axiomatic semantics change, invalidating caches.
 
 Version history:
@@ -97,6 +97,12 @@ Version history:
   model) and the bespoke ``EquivSpec`` kind was retired in favour of
   outcome cells under both oracles.  Axiomatic results are unchanged, but
   the descriptor shape changed, so version-3 entries must miss.
+* 5 — the fault-tolerance layer: the scheduler moved onto
+  ``ProcessPoolExecutor`` with execution policies (deadlines, retries,
+  quarantine) and deterministic fault injection.  Results are unchanged,
+  but the dispatch internals changed and the R004 invariant ties every
+  engine-path diff to a bump, so older entries re-verify rather than
+  vouch for the reworked scheduler.
 """
 
 ModelLike = Union[str, MemoryModel]

@@ -46,17 +46,22 @@ class EquivalenceReport:
         pair_name: which definition pair was compared (e.g. ``"gam"``).
         axiomatic: the axiomatic outcome set.
         operational: the machine's outcome set.
+        failure: failure reason when either side's batch was skipped or
+            quarantined under a non-raising engine policy — both outcome
+            sets are empty and the comparison is *unanswered*, not
+            equivalent.
     """
 
     test_name: str
     pair_name: str
     axiomatic: frozenset[Outcome]
     operational: frozenset[Outcome]
+    failure: Optional[str] = None
 
     @property
     def equivalent(self) -> bool:
-        """True when the two outcome sets coincide."""
-        return self.axiomatic == self.operational
+        """True when the two outcome sets coincide (and both were computed)."""
+        return self.failure is None and self.axiomatic == self.operational
 
     def differences(self) -> tuple[frozenset[Outcome], frozenset[Outcome]]:
         """(operational-only outcomes, axiomatic-only outcomes)."""
@@ -114,6 +119,8 @@ def _engine_reports(
     pair_names: Sequence[str],
     jobs: int,
     cache_dir: Optional[str],
+    policy=None,
+    fault_plan=None,
 ) -> list[EquivalenceReport]:
     """Evaluate default-pair cells through the batch engine.
 
@@ -122,7 +129,7 @@ def _engine_reports(
     machine under ``operational:<pair>`` — so equivalence checking shares
     the scheduler, the cache and the telemetry with every other grid.
     """
-    from ..engine import OutcomeSpec, evaluate_cells  # cycle-free import
+    from ..engine import CellFailure, OutcomeSpec, evaluate_cells
 
     known = default_pairs()
     for pair_name in pair_names:
@@ -140,16 +147,29 @@ def _engine_reports(
                 test, pair_name, project="full", oracle=f"operational:{pair_name}"
             )
         )
-    results = evaluate_cells(specs, jobs=jobs, cache_dir=cache_dir)
-    return [
-        EquivalenceReport(
-            test_name=test.name,
-            pair_name=pair_name,
-            axiomatic=results[2 * i],
-            operational=results[2 * i + 1],
+    results = evaluate_cells(
+        specs, jobs=jobs, cache_dir=cache_dir, policy=policy,
+        fault_plan=fault_plan,
+    )
+    reports = []
+    for i, (test, pair_name) in enumerate(grid):
+        axiomatic, operational = results[2 * i], results[2 * i + 1]
+        failure = None
+        for side in (axiomatic, operational):
+            if isinstance(side, CellFailure):
+                failure = side.reason
+        if failure is not None:
+            axiomatic = operational = frozenset()
+        reports.append(
+            EquivalenceReport(
+                test_name=test.name,
+                pair_name=pair_name,
+                axiomatic=axiomatic,
+                operational=operational,
+                failure=failure,
+            )
         )
-        for i, (test, pair_name) in enumerate(grid)
-    ]
+    return reports
 
 
 def check_suite(
@@ -158,6 +178,8 @@ def check_suite(
     pairs: Optional[dict[str, tuple[OutcomeFn, OutcomeFn]]] = None,
     jobs: int = 1,
     cache_dir: Optional[str] = None,
+    policy=None,
+    fault_plan=None,
 ) -> list[EquivalenceReport]:
     """Compare the requested pairs over a whole suite.
 
@@ -166,11 +188,16 @@ def check_suite(
     ``pair_names``, ``jobs`` fans tests out over a process pool and
     ``cache_dir`` makes repeat runs incremental.  A custom ``pairs``
     mapping may hold arbitrary callables (often closures the pool cannot
-    ship), so it is evaluated in-process regardless of ``jobs``.
+    ship), so it is evaluated in-process regardless of ``jobs``, and
+    ``policy``/``fault_plan`` (the engine's fault-tolerance and
+    fault-injection hooks) do not apply.
     """
     materialized = list(tests)
     if pairs is None:
-        return _engine_reports(materialized, pair_names, jobs, cache_dir)
+        return _engine_reports(
+            materialized, pair_names, jobs, cache_dir,
+            policy=policy, fault_plan=fault_plan,
+        )
     reports = []
     for test in materialized:
         for pair_name in pair_names:

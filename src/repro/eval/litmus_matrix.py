@@ -12,7 +12,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
-from ..engine import ModelLike, VerdictSpec, evaluate_cells
+from ..engine import (
+    CellFailure,
+    ExecutionPolicy,
+    FaultPlan,
+    ModelLike,
+    VerdictSpec,
+    evaluate_cells,
+)
 from ..litmus.registry import all_tests, paper_suite
 from ..litmus.test import LitmusTest
 from .render import render_table
@@ -30,16 +37,27 @@ class VerdictCell:
         test_name / model_name: coordinates.
         allowed: what the implementation says.
         expected: the paper's verdict, or ``None`` if the paper is silent.
+        failure: the failure reason when the cell's batch was skipped or
+            quarantined under a non-raising :class:`ExecutionPolicy`
+            (``None`` for an evaluated cell; ``allowed`` is meaningless).
     """
 
     test_name: str
     model_name: str
     allowed: bool
     expected: Optional[bool]
+    failure: Optional[str] = None
 
     @property
     def conforms(self) -> bool:
-        """True when the implementation matches the paper (or paper silent)."""
+        """True when the implementation matches the paper (or paper silent).
+
+        A skipped cell has no verdict to contradict the paper with, so it
+        conforms vacuously — skips are reported separately, not as
+        conformance failures.
+        """
+        if self.failure is not None:
+            return True
         return self.expected is None or self.allowed == self.expected
 
 
@@ -48,6 +66,8 @@ def litmus_matrix(
     model_names: Sequence[ModelLike] = _MATRIX_MODELS,
     jobs: int = 1,
     cache_dir: Optional[str] = None,
+    policy: Optional[ExecutionPolicy] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> list[VerdictCell]:
     """Evaluate every (test, model) verdict through the batch engine.
 
@@ -58,22 +78,37 @@ def litmus_matrix(
     Candidate prefixes are shared across the model zoo per test; ``jobs``
     fans per-test batches out over a process pool and ``cache_dir``
     enables the on-disk result cache (both leave results identical).
+
+    ``policy`` arms deadlines/retries/quarantine on the engine; under a
+    non-raising policy a failed test's cells come back with
+    ``VerdictCell.failure`` set and render as ``skip``.  ``fault_plan``
+    is the fault-injection hook (tests only).
     """
     materialized = list(tests) if tests is not None else list(paper_suite())
     asked = [test for test in materialized if test.asked is not None]
     specs = [
         VerdictSpec(test, model) for test in asked for model in model_names
     ]
-    verdicts = evaluate_cells(specs, jobs=jobs, cache_dir=cache_dir)
-    return [
-        VerdictCell(
-            test_name=spec.test.name,
-            model_name=spec.model_name,
-            allowed=allowed,
-            expected=spec.test.expect.get(spec.model_name),
+    verdicts = evaluate_cells(
+        specs, jobs=jobs, cache_dir=cache_dir, policy=policy,
+        fault_plan=fault_plan,
+    )
+    cells = []
+    for spec, allowed in zip(specs, verdicts):
+        failure = None
+        if isinstance(allowed, CellFailure):
+            failure = allowed.reason
+            allowed = False
+        cells.append(
+            VerdictCell(
+                test_name=spec.test.name,
+                model_name=spec.model_name,
+                allowed=allowed,
+                expected=spec.test.expect.get(spec.model_name),
+                failure=failure,
+            )
         )
-        for spec, allowed in zip(specs, verdicts)
-    ]
+    return cells
 
 
 def _model_column_key(name: str) -> tuple:
@@ -104,6 +139,9 @@ def render_matrix(
             cell = by_key.get((test_name, model_name))
             if cell is None:
                 row.append("-")
+                continue
+            if cell.failure is not None:
+                row.append("skip")
                 continue
             text = "allow" if cell.allowed else "forbid"
             if cell.expected is None:

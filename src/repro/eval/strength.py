@@ -13,7 +13,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
-from ..engine import ModelLike, OutcomeSpec, evaluate_cells, model_display_name
+from ..engine import (
+    CellFailure,
+    ExecutionPolicy,
+    FaultPlan,
+    ModelLike,
+    OutcomeSpec,
+    evaluate_cells,
+    model_display_name,
+)
 from ..litmus.registry import all_tests
 from ..litmus.test import LitmusTest
 from .render import render_table
@@ -29,11 +37,15 @@ class StrengthMatrix:
 
     ``stronger_or_equal[(a, b)]`` is True when model ``a``'s outcome set is
     a subset of ``b``'s on *every* suite test (a allows no behaviour b
-    forbids — a is at least as strong).
+    forbids — a is at least as strong).  ``skipped`` lists tests excluded
+    from the measurement because a cell of theirs failed under a
+    non-raising :class:`ExecutionPolicy` — containment is only meaningful
+    over tests where every model answered.
     """
 
     model_names: tuple[str, ...]
     stronger_or_equal: dict[tuple[str, str], bool]
+    skipped: tuple[str, ...] = ()
 
     def is_stronger_or_equal(self, a: str, b: str) -> bool:
         """Is ``a`` at least as strong as ``b`` over the suite?"""
@@ -51,6 +63,8 @@ def strength_matrix(
     model_names: Sequence[ModelLike] = _DEFAULT_MODELS,
     jobs: int = 1,
     cache_dir: Optional[str] = None,
+    policy: Optional[ExecutionPolicy] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> StrengthMatrix:
     """Measure pairwise strength over a suite (default: full catalogue).
 
@@ -61,6 +75,11 @@ def strength_matrix(
     sets are enumerated through the batch engine: per-test candidate
     prefixes are shared across ``model_names``, ``jobs`` fans tests out
     over a process pool, ``cache_dir`` makes repeat runs incremental.
+
+    ``policy`` arms deadlines/retries/quarantine; a test whose batch
+    fails under a non-raising policy lands in ``StrengthMatrix.skipped``
+    and the containment relation is measured over the survivors.
+    ``fault_plan`` is the fault-injection hook (tests only).
     """
     materialized = list(tests) if tests is not None else list(all_tests())
     display = tuple(model_display_name(model) for model in model_names)
@@ -71,17 +90,27 @@ def strength_matrix(
         for test in materialized
         for model in model_names
     ]
-    results = evaluate_cells(specs, jobs=jobs, cache_dir=cache_dir)
+    results = evaluate_cells(
+        specs, jobs=jobs, cache_dir=cache_dir, policy=policy,
+        fault_plan=fault_plan,
+    )
     outcome_sets: dict[str, list[frozenset]] = {name: [] for name in display}
-    for spec, outcomes in zip(specs, results):
-        outcome_sets[spec.model_name].append(outcomes)
+    skipped: list[str] = []
+    width = len(model_names)
+    for index, test in enumerate(materialized):
+        chunk = results[index * width:(index + 1) * width]
+        if any(isinstance(outcomes, CellFailure) for outcomes in chunk):
+            skipped.append(test.name)
+            continue
+        for name, outcomes in zip(display, chunk):
+            outcome_sets[name].append(outcomes)
     relation: dict[tuple[str, str], bool] = {}
     for a in display:
         for b in display:
             relation[(a, b)] = all(
                 sa <= sb for sa, sb in zip(outcome_sets[a], outcome_sets[b])
             )
-    return StrengthMatrix(display, relation)
+    return StrengthMatrix(display, relation, tuple(skipped))
 
 
 def render_strength(matrix: StrengthMatrix) -> str:
@@ -97,4 +126,9 @@ def render_strength(matrix: StrengthMatrix) -> str:
         rows,
         title="Model strength (row at least as strong as column)",
     )
+    if matrix.skipped:
+        table += (
+            f"\n(measured without {len(matrix.skipped)} skipped test(s): "
+            f"{', '.join(matrix.skipped)})"
+        )
     return table

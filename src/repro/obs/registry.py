@@ -90,6 +90,30 @@ METRICS: dict[str, MetricSpec] = {
             "batches",
             "Per-test batches dispatched (each shares one `CandidatePrefix`).",
         ),
+        _counter(
+            "engine.retries",
+            "retries",
+            "Failed or timed-out batches re-submitted under an "
+            "`ExecutionPolicy` retry budget.",
+        ),
+        _counter(
+            "engine.timeouts",
+            "batches",
+            "Batches that exceeded the per-batch deadline and had their "
+            "pool killed.",
+        ),
+        _counter(
+            "engine.batches.quarantined",
+            "batches",
+            "Batches finalized as `CellFailure` sentinels under "
+            "`on_error=quarantine`.",
+        ),
+        _counter(
+            "engine.pool.restarts",
+            "restarts",
+            "Process pools killed and replaced after a deadline kill or a "
+            "broken (crashed-worker) pool.",
+        ),
         # --- engine: oracle routing -------------------------------------
         _counter(
             "engine.oracle.axiomatic",

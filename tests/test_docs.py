@@ -159,6 +159,36 @@ class TestObsReference:
         assert gen_obs_docs.main(["--check"]) == 0
 
 
+class TestRobustnessReference:
+    def test_robustness_md_is_in_sync(self):
+        gen = _load_tool("gen_robustness_docs")
+        rendered = gen.render_robustness_docs()
+        committed = (ROOT / "docs" / "robustness.md").read_text(
+            encoding="utf-8"
+        )
+        assert committed == rendered, (
+            "docs/robustness.md is stale; regenerate with "
+            "`PYTHONPATH=src python tools/gen_robustness_docs.py`"
+        )
+
+    def test_vocabulary_is_covered(self):
+        from repro.engine import FAILURE_REASONS, FAULT_KINDS, ON_ERROR_MODES
+
+        text = (ROOT / "docs" / "robustness.md").read_text(encoding="utf-8")
+        for name in (*ON_ERROR_MODES, *FAILURE_REASONS, *FAULT_KINDS):
+            assert f"`{name}`" in text, f"{name} missing from robustness.md"
+
+    def test_check_mode_detects_staleness(self, tmp_path, monkeypatch, capsys):
+        gen = _load_tool("gen_robustness_docs")
+        stale = tmp_path / "robustness.md"
+        stale.write_text("out of date", encoding="utf-8")
+        monkeypatch.setattr(gen, "OUTPUT", str(stale))
+        assert gen.main(["--check"]) == 1
+        assert "out of sync" in capsys.readouterr().err
+        assert gen.main([]) == 0
+        assert gen.main(["--check"]) == 0
+
+
 class TestLintReproTool:
     def test_clean_paths_exit_zero(self, capsys):
         lint_repro = _load_tool("lint_repro")
@@ -208,6 +238,7 @@ class TestDocsLinks:
             "models.md",
             "lint.md",
             "observability.md",
+            "robustness.md",
         )
         for name in names:
             assert (ROOT / "docs" / name).is_file()
@@ -239,6 +270,8 @@ def _public_members(obj):
         "repro.engine.cells",
         "repro.engine.cache",
         "repro.engine.scheduler",
+        "repro.engine.policy",
+        "repro.engine.faults",
         "repro.litmus.frontend",
         "repro.litmus.frontend.gen",
         "repro.litmus.frontend.parser",

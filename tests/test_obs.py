@@ -246,8 +246,10 @@ class TestWorkerErrors:
     def test_run_batch_ships_traceback_as_data(self):
         from repro.engine.scheduler import _run_batch
 
+        from repro.engine.faults import FaultPlan
+
         broken = types.SimpleNamespace(name="boom")
-        outcome = _run_batch((broken, [object()], None, False))
+        outcome = _run_batch((0, 1, broken, [object()], None, False, FaultPlan()))
         tag, test_name, message, worker_tb = outcome
         assert tag == "error"
         assert test_name == "boom"

@@ -106,20 +106,29 @@ class TestOracleContract:
         assert len(keys) == 1 + len(_MACHINES)
 
     def test_operational_verdict_requires_asked(self):
+        from repro.engine import EngineWorkerError
+
         stripped = resolve_suite("rand:n=1,seed=0")[0]
         assert stripped.asked is None
-        with pytest.raises(ValueError, match="asked"):
+        # Serial failures are translated like pooled ones: an
+        # EngineWorkerError naming the test, the original ValueError
+        # chained on __cause__.
+        with pytest.raises(EngineWorkerError, match="asked") as excinfo:
             evaluate_cells(
                 [VerdictSpec(stripped, "gam", oracle="operational:gam")]
             )
+        assert isinstance(excinfo.value.__cause__, ValueError)
 
     def test_bad_machine_rejected_at_evaluation(self):
+        from repro.engine import EngineWorkerError
+
         test = get_test("dekker")
-        with pytest.raises(ValueError):
+        with pytest.raises(EngineWorkerError) as excinfo:
             evaluate_cells(
                 [OutcomeSpec(test, "gam", project="full",
                              oracle="operational:wmm")]
             )
+        assert isinstance(excinfo.value.__cause__, ValueError)
 
 
 class TestParityQuick:
