@@ -69,14 +69,22 @@ model is any :data:`~repro.engine.cells.ModelLike` — a registry name, a
 :class:`~repro.core.axiomatic.MemoryModel` — and the cache keys hash
 model *content* (clauses + axioms), so a file-defined model caches
 correctly and an edited one misses.  The per-test batch is also the seam
-for future scale-out: sharding a suite across machines or moving batches
-onto an async executor only replaces the scheduler's pool, not the cells
-or the cache.
+for scale-out: :mod:`repro.serve` swaps the per-call pool for a
+long-lived daemon owning one warm executor and one shared
+:class:`ResultCache`, and its ``RemoteScheduler`` drops into the same
+``evaluate_cells`` signature — the cells and the cache are untouched.
 """
 
 from __future__ import annotations
 
-from .cache import CacheStats, ResultCache, cell_cache_key
+from .cache import (
+    CacheStats,
+    CacheTransferError,
+    ResultCache,
+    cell_cache_key,
+    outcomes_from_json,
+    outcomes_to_json,
+)
 from .cells import (
     ENGINE_VERSION,
     ORACLE_AXIOMATIC,
@@ -127,6 +135,9 @@ __all__ = [
     "parse_oracle",
     "EngineWorkerError",
     "CacheStats",
+    "CacheTransferError",
+    "outcomes_from_json",
+    "outcomes_to_json",
     "CellFailure",
     "DEFAULT_POLICY",
     "ExecutionPolicy",

@@ -75,7 +75,7 @@ __all__ = [
     "evaluate_cell",
 ]
 
-ENGINE_VERSION = 5
+ENGINE_VERSION = 6
 """Bumped whenever engine/axiomatic semantics change, invalidating caches.
 
 Version history:
@@ -103,6 +103,13 @@ Version history:
   but the dispatch internals changed and the R004 invariant ties every
   engine-path diff to a bump, so older entries re-verify rather than
   vouch for the reworked scheduler.
+* 6 — verdict-as-a-service: the serve daemon shares one cache directory
+  across many writer processes, ``ResultCache`` grew export/import
+  tarballs and a crash-orphan-safe concurrent store path, and the wire
+  codec reuses the cache's canonical outcome JSON.  Results are
+  unchanged, but the cache payload helpers moved and the R004 invariant
+  ties every engine-path diff to a bump, so pre-serve entries re-verify
+  rather than vouch for the shared-store code paths.
 """
 
 ModelLike = Union[str, MemoryModel]

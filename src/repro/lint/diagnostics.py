@@ -355,6 +355,21 @@ CODES: dict[str, CodeInfo] = dict(
             "and is exempt.",
             "`start = time.perf_counter()` inside `src/repro/engine/`.",
         ),
+        _info(
+            "R006",
+            Severity.ERROR,
+            "network-outside-serve",
+            "Code under `src/repro/` imports socket or HTTP machinery "
+            "(`socket`, `socketserver`, `http.*`, `urllib.request`, "
+            "`xmlrpc`) outside `src/repro/serve/`.  Every byte that "
+            "crosses a machine boundary must go through the serve "
+            "package's versioned protocol — content-addressed JSON with "
+            "a handshake and structured errors — so results stay "
+            "interchangeable and nothing grows an ad-hoc wire format "
+            "(see `docs/serving.md`).  `urllib.parse` is fine: splitting "
+            "a URL string reads no socket.",
+            "`import http.client` inside `src/repro/campaign/`.",
+        ),
     )
 )
 """The stable diagnostic-code catalog, in code order."""

@@ -23,7 +23,11 @@ apply exactly where the invariant holds and nowhere else:
   ``src/repro/campaign/``: timing goes through :mod:`repro.obs`
   (``time_block``/``monotonic``) so it is free when stats are off and
   always lands in the run report; ``src/repro/obs/`` itself is the
-  sanctioned wrapper and is exempt.
+  sanctioned wrapper and is exempt;
+* ``R006`` (network imports) — all of ``src/repro/``: sockets and HTTP
+  go through :mod:`repro.serve` (the versioned, content-validating
+  protocol layer) so nothing else can grow an ad-hoc wire format;
+  ``src/repro/serve/`` itself is the sanctioned wrapper and is exempt.
 
 ``tools/lint_repro.py`` is the CLI wrapper; this module stays importable
 and unit-testable without a git checkout.
@@ -45,6 +49,9 @@ __all__ = [
     "CLOCK_FUNCTIONS",
     "CLOCK_SCOPE",
     "CLOCK_ALLOWLIST",
+    "NETWORK_MODULES",
+    "NETWORK_SCOPE",
+    "NETWORK_ALLOWLIST",
     "ENGINE_PATHS",
     "ENGINE_VERSION_FILE",
     "lint_source",
@@ -102,6 +109,28 @@ CLOCK_SCOPE = ("src/repro/engine/", "src/repro/campaign/")
 
 CLOCK_ALLOWLIST = ("src/repro/obs/",)
 """Paths exempt from ``R005``: the telemetry layer wraps the clock."""
+
+NETWORK_MODULES = frozenset(
+    (
+        "http",
+        "socket",
+        "socketserver",
+        "urllib.request",
+        "xmlrpc",
+    )
+)
+"""Module roots whose import is a network act (the ``R006`` vocabulary).
+
+``urllib.parse`` is deliberately absent — splitting a URL string reads
+no socket.  Submodules count via their root (``http.client``,
+``http.server``, ``xmlrpc.client`` ...).
+"""
+
+NETWORK_SCOPE = ("src/repro/",)
+"""Path prefixes where ``R006`` (network imports) applies."""
+
+NETWORK_ALLOWLIST = ("src/repro/serve/",)
+"""Paths exempt from ``R006``: the verdict service wraps the network."""
 
 ENGINE_PATHS = ("src/repro/engine/", "src/repro/core/kernel.py")
 """Paths whose diffs require an ``ENGINE_VERSION`` bump (``R004``)."""
@@ -295,6 +324,42 @@ def _raw_clock_findings(tree: ast.AST, relpath: str) -> list[Diagnostic]:
     return findings
 
 
+def _network_root(module: str) -> str | None:
+    """The :data:`NETWORK_MODULES` root ``module`` falls under, if any."""
+    for banned in NETWORK_MODULES:
+        if module == banned or module.startswith(banned + "."):
+            return banned
+    return None
+
+
+def _network_findings(tree: ast.AST, relpath: str) -> list[Diagnostic]:
+    """R006: importing socket/HTTP machinery outside the serve package."""
+    findings: list[Diagnostic] = []
+    for node in ast.walk(tree):
+        modules: list[str] = []
+        if isinstance(node, ast.Import):
+            modules = [alias.name for alias in node.names]
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            modules = [node.module]
+        for module in modules:
+            root = _network_root(module)
+            if root is None:
+                continue
+            findings.append(
+                make(
+                    "R006",
+                    relpath,
+                    f"importing {module!r} opens a wire format outside "
+                    "the sanctioned one; network code belongs in "
+                    "src/repro/serve/, which versions its protocol and "
+                    "validates content (see docs/serving.md)",
+                    source=relpath,
+                    line=node.lineno,
+                )
+            )
+    return findings
+
+
 def lint_source(text: str, relpath: str) -> list[Diagnostic]:
     """Run every applicable AST check on one file's source text.
 
@@ -314,6 +379,7 @@ def lint_source(text: str, relpath: str) -> list[Diagnostic]:
         or _in_scope(relpath, DETERMINISM_SCOPE)
         or _in_scope(relpath, LAMBDA_SCOPE)
         or _in_scope(relpath, CLOCK_SCOPE)
+        or _in_scope(relpath, NETWORK_SCOPE)
     )
     if not applicable:
         return findings
@@ -328,6 +394,10 @@ def lint_source(text: str, relpath: str) -> list[Diagnostic]:
         relpath, CLOCK_ALLOWLIST
     ):
         findings.extend(_raw_clock_findings(tree, relpath))
+    if _in_scope(relpath, NETWORK_SCOPE) and not _in_scope(
+        relpath, NETWORK_ALLOWLIST
+    ):
+        findings.extend(_network_findings(tree, relpath))
     return findings
 
 

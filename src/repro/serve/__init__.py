@@ -1,0 +1,59 @@
+"""Verdict-as-a-service: the long-lived evaluation daemon and its client.
+
+The batch engine (:mod:`repro.engine`) was built backend-agnostic — its
+per-test batches are picklable payloads, its errors travel as data, its
+cache keys hash content.  This package cashes that in: a daemon
+(:mod:`~repro.serve.daemon`) owns one warm process pool and one shared
+:class:`~repro.engine.ResultCache` for its whole lifetime, a versioned
+JSON protocol (:mod:`~repro.serve.protocol`) ships cells by *content*
+(litmus text + model text + oracle + engine version — never pickles),
+and a :class:`~repro.serve.client.RemoteScheduler` drops into the
+engine seam so ``repro matrix/check/equiv/strength --server URL`` route
+their grids through the daemon with byte-identical stdout and
+transparent local fallback.
+
+This is also the sanctioned home of network code: the ``R006`` lint
+rule bans ``socket``/``http`` imports everywhere else under
+``src/repro/``, so every byte that crosses a machine boundary goes
+through this package's handshake and content validation.
+
+See ``docs/serving.md`` (generated from the live endpoint/metric
+vocabulary) for the protocol reference and operations guide.
+"""
+
+from __future__ import annotations
+
+from .client import RemoteScheduler, ServeClient
+from .daemon import DEFAULT_SERVE_POLICY, VerdictServer, VerdictService
+from .protocol import (
+    ENDPOINTS,
+    ERROR_KINDS,
+    PROTOCOL_VERSION,
+    ServeDroppedError,
+    ServeError,
+    ServeProtocolError,
+    ServeUnavailableError,
+    decode_cell,
+    decode_result,
+    encode_cell,
+    encode_result,
+)
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ENDPOINTS",
+    "ERROR_KINDS",
+    "DEFAULT_SERVE_POLICY",
+    "RemoteScheduler",
+    "ServeClient",
+    "ServeError",
+    "ServeProtocolError",
+    "ServeUnavailableError",
+    "ServeDroppedError",
+    "VerdictServer",
+    "VerdictService",
+    "decode_cell",
+    "decode_result",
+    "encode_cell",
+    "encode_result",
+]

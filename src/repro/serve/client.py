@@ -1,0 +1,234 @@
+"""The client side: ``ServeClient`` transport + ``RemoteScheduler`` seam.
+
+``RemoteScheduler.evaluate_cells`` has the exact signature of the local
+:func:`repro.engine.evaluate_cells`, so anything built on the engine
+seam (``matrix``, ``check``, ``equiv``, ``strength``) routes through a
+daemon by swapping one callable — stdout stays byte-identical because
+the wire codec is lossless (verdict booleans and outcome sets round-trip
+through the cache's canonical JSON).
+
+Failure discipline, from softest to hardest:
+
+* **server unreachable** (connect refused / DNS / connect timeout) —
+  fall back to the local engine immediately and transparently; the run
+  must succeed on a laptop with no daemon.
+* **connection dropped mid-request** (server killed, network blip) —
+  retry once (the request is idempotent: cells are content-addressed
+  and the shared store absorbs duplicates), then fall back.
+* **protocol or engine-version mismatch** — a *hard*
+  :class:`~repro.serve.protocol.ServeProtocolError`: the two builds
+  disagree about meaning, and silently recomputing locally would mask
+  a deployment bug the operator needs to see.
+
+Telemetry is duplicate-free by construction: ``serve.client.requests``
+counts logical evaluation calls (once, however many transport retries),
+``serve.client.retries`` counts the retries, ``serve.client.fallbacks``
+counts calls that ended local, and ``serve.cache.remote_hits`` is folded
+in from the *server's* response stats — so a ``--stats json`` report on
+the client shows how much of the grid the shared store answered.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import urllib.parse
+from typing import Callable, Optional, Sequence
+
+from ..engine.cells import CellResult, CellSpec
+from ..engine.policy import ExecutionPolicy
+from ..engine.scheduler import _group_by_test, evaluate_cells
+from ..litmus import LitmusPrintError
+from ..litmus.test import LitmusTest
+from ..obs import incr
+from .protocol import (
+    ServeDroppedError,
+    ServeProtocolError,
+    ServeUnavailableError,
+    check_handshake,
+    decode_result,
+    encode_cell,
+    request_envelope,
+)
+
+__all__ = ["ServeClient", "RemoteScheduler"]
+
+_DROPPED = (
+    http.client.RemoteDisconnected,
+    http.client.IncompleteRead,
+    ConnectionResetError,
+    BrokenPipeError,
+)
+
+
+class ServeClient:
+    """One verdict-server endpoint: URL parsing, POST, error taxonomy."""
+
+    def __init__(self, url: str, timeout: float = 600.0) -> None:
+        parsed = urllib.parse.urlsplit(url if "//" in url else f"http://{url}")
+        if parsed.scheme not in ("http", ""):
+            raise ValueError(f"unsupported server scheme {parsed.scheme!r} in {url!r}")
+        if not parsed.hostname:
+            raise ValueError(f"server URL {url!r} has no host")
+        self.host = parsed.hostname
+        self.port = parsed.port or 80
+        self.timeout = timeout
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def post(self, endpoint: str, body: dict) -> dict:
+        """POST one envelope; returns the decoded response envelope.
+
+        Raises :class:`ServeUnavailableError` when no connection could
+        be made, :class:`ServeDroppedError` when an established
+        connection died mid-request, and :class:`ServeProtocolError`
+        when the server answered with an error envelope (or undecodable
+        JSON — a non-verdict-server on that port).
+        """
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            try:
+                connection.connect()
+            except (ConnectionRefusedError, OSError) as exc:
+                raise ServeUnavailableError(
+                    f"{self.url}: cannot connect ({exc})"
+                ) from exc
+            try:
+                connection.request(
+                    "POST",
+                    f"/{endpoint}",
+                    body=json.dumps(body, sort_keys=True),
+                    headers={"Content-Type": "application/json"},
+                )
+                response = connection.getresponse()
+                raw = response.read()
+            except _DROPPED as exc:
+                raise ServeDroppedError(
+                    f"{self.url}/{endpoint}: connection dropped mid-request ({exc})"
+                ) from exc
+            except OSError as exc:
+                raise ServeDroppedError(
+                    f"{self.url}/{endpoint}: transport failure ({exc})"
+                ) from exc
+        finally:
+            connection.close()
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except ValueError as exc:
+            raise ServeProtocolError(
+                "bad-request",
+                f"{self.url}/{endpoint} answered non-JSON (HTTP {response.status}) "
+                "— not a verdict server?",
+            ) from exc
+        error = payload.get("error") if isinstance(payload, dict) else None
+        if error is not None:
+            raise ServeProtocolError(
+                str(error.get("kind", "bad-request")),
+                f"{self.url}/{endpoint}: {error.get('message', 'server refused the request')}",
+            )
+        check_handshake(payload, "server")
+        return payload
+
+    def status(self) -> dict:
+        """The server's handshake/status payload (raises like :meth:`post`)."""
+        return self.post("status", request_envelope())
+
+
+class RemoteScheduler:
+    """A drop-in ``evaluate_cells`` that routes batches through a daemon.
+
+    Attributes:
+        client: the transport (swap in a stub to unit-test failure modes).
+        local: the fallback evaluator, by default the real local engine.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        timeout: float = 600.0,
+        client: Optional[ServeClient] = None,
+        local: Callable = evaluate_cells,
+    ) -> None:
+        self.client = client if client is not None else ServeClient(url, timeout)
+        self.local = local
+
+    def evaluate_cells(
+        self,
+        cells: Sequence[CellSpec],
+        jobs: int = 1,
+        cache_dir: Optional[str] = None,
+        on_batch: Optional[Callable[[LitmusTest, Sequence[CellResult]], None]] = None,
+        policy: Optional[ExecutionPolicy] = None,
+        fault_plan=None,
+        on_stall=None,
+        stall_after: float = 30.0,
+    ) -> list[CellResult]:
+        """Evaluate a grid remotely; signature-identical to the engine's.
+
+        ``jobs``/``cache_dir``/``policy`` govern the *fallback* path
+        only — the daemon has its own pool, shared store and policy.  An
+        armed ``fault_plan`` (a local-engine test harness) forces local
+        evaluation outright, as does a grid whose tests cannot be
+        serialized by content.
+        """
+        cells = list(cells)
+        if not cells:
+            return []
+
+        def _local(reason: str) -> list[CellResult]:
+            incr("serve.client.fallbacks")
+            return self.local(
+                cells,
+                jobs=jobs,
+                cache_dir=cache_dir,
+                on_batch=on_batch,
+                policy=policy,
+                fault_plan=fault_plan,
+                on_stall=on_stall,
+                stall_after=stall_after,
+            )
+
+        incr("serve.client.requests")
+        if fault_plan:
+            return _local("fault plan armed")
+        try:
+            wire_cells = [encode_cell(cell) for cell in cells]
+        except LitmusPrintError:
+            return _local("unprintable test content")
+        body = request_envelope(wire_cells)
+        try:
+            payload = self._post_with_retry(body)
+        except (ServeUnavailableError, ServeDroppedError):
+            return _local("server unreachable")
+        results = self._decode_results(payload, len(cells))
+        stats = payload.get("stats") or {}
+        remote_hits = stats.get("remote_hits", 0)
+        if isinstance(remote_hits, int) and remote_hits > 0:
+            incr("serve.cache.remote_hits", remote_hits)
+        if on_batch is not None:
+            for test, indices in _group_by_test(cells):
+                on_batch(test, [results[i] for i in indices])
+        return results
+
+    def _post_with_retry(self, body: dict) -> dict:
+        """One batch POST, retrying a dropped connection exactly once."""
+        try:
+            return self.client.post("batch", body)
+        except ServeDroppedError:
+            incr("serve.client.retries")
+            return self.client.post("batch", body)
+
+    @staticmethod
+    def _decode_results(payload: dict, expected: int) -> list[CellResult]:
+        raw = payload.get("results")
+        if not isinstance(raw, list) or len(raw) != expected:
+            got = len(raw) if isinstance(raw, list) else type(raw).__name__
+            raise ServeProtocolError(
+                "bad-request",
+                f"server returned {got} results for {expected} cells",
+            )
+        return [decode_result(item) for item in raw]

@@ -1,0 +1,518 @@
+"""The verdict daemon: one warm pool, one shared store, many requests.
+
+Where the local engine builds a process pool per ``evaluate_cells`` call
+and tears it down after, the daemon owns *one* warm
+``ProcessPoolExecutor`` and *one* shared :class:`~repro.engine.cache
+.ResultCache` for its whole lifetime, so identical (test-content,
+model-content, oracle, engine-version) queries never recompute — not
+within a request, not across requests, not across clients.
+
+Request anatomy::
+
+    HTTP request thread (ThreadingHTTPServer)
+        │  handshake check, cells decoded from content (protocol.py)
+        │  shared-store lookups: hits answered inline
+        ▼                       (serve.cache.remote_hits)
+    work-stealing shard queue   misses grouped per test, one job per
+        │                       batch; shard = crc32(test name)
+        ▼
+    dispatcher threads          each steals a job (home shard first),
+        │                       submits the engine's own `_run_batch`
+        ▼                       payload and awaits it under the policy
+    warm ProcessPoolExecutor    deadline/retry/restart semantics
+        │
+        └── workers store results into the shared cache directory
+            themselves (the cache's atomic rename makes concurrent
+            writers safe), so the *next* request's lookups hit
+
+The pool survives failures the way the local scheduler does — a
+deadline kill or crashed worker replaces the pool — but because many
+dispatcher threads share it, restarts are guarded by a generation
+counter: the thread whose batch caused the kill charges a retry
+attempt, while innocent threads whose futures broke in the crossfire
+resubmit for free.
+
+Telemetry is recorded on a *private* lock-guarded recorder, never on
+the process-global one (:func:`repro.obs.install` is process-wide and
+the daemon must not hijack a host process's stats when embedded
+in-process, as the tests do).  Worker-side snapshots ride back on the
+batch protocol and are merged in, so ``status`` reports kernel and
+cache counters for everything the daemon has ever executed.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Sequence
+from zlib import crc32
+
+from ..engine.cache import ResultCache
+from ..engine.cells import CellResult, CellSpec
+from ..engine.policy import (
+    ON_ERROR_QUARANTINE,
+    CellFailure,
+    ExecutionPolicy,
+)
+from ..engine.scheduler import _backoff_sleep, _group_by_test, _kill_executor, _run_batch
+from ..litmus.test import LitmusTest
+from ..obs import monotonic
+from ..obs.core import StatsRecorder
+from .protocol import (
+    ENDPOINTS,
+    ServeProtocolError,
+    check_handshake,
+    decode_cell,
+    encode_result,
+    error_envelope,
+    response_envelope,
+)
+
+__all__ = ["DEFAULT_SERVE_POLICY", "VerdictService", "VerdictServer"]
+
+
+DEFAULT_SERVE_POLICY = ExecutionPolicy(timeout=300.0, retries=1, on_error="skip")
+"""The daemon's default execution policy.
+
+Unlike the local engine, a daemon must never let one poison batch take
+down the process, so the default carries a generous deadline, one retry
+and non-raising failure handling.  ``on_error="fail"`` is coerced to
+sentinel behaviour server-side — per-batch failures always travel back
+as ``failure`` results, never as a dead daemon.
+"""
+
+_STALE_TMP_SECONDS = 3600.0
+"""Orphaned spool files older than this are swept at daemon startup."""
+
+
+class _LockingRecorder(StatsRecorder):
+    """A :class:`StatsRecorder` safe for the daemon's many threads.
+
+    Private to the service — it is *called*, never installed as the
+    process-global recorder, so an in-process embedding (tests, the
+    ``serve start`` foreground path) leaves the host's telemetry alone.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._lock = threading.Lock()
+
+    def incr(self, name: str, n: int = 1) -> None:
+        with self._lock:
+            super().incr(name, n)
+
+    def observe(self, name: str, value: float) -> None:
+        with self._lock:
+            super().observe(name, value)
+
+    def merge(self, snapshot) -> None:
+        with self._lock:
+            super().merge(snapshot)
+
+    def snapshot(self):
+        with self._lock:
+            return super().snapshot()
+
+
+class _Job:
+    """One per-test batch of cache-miss cells awaiting a dispatcher."""
+
+    __slots__ = ("batch_index", "test", "cells", "done", "results")
+
+    def __init__(self, batch_index: int, test: LitmusTest, cells: Sequence[CellSpec]) -> None:
+        self.batch_index = batch_index
+        self.test = test
+        self.cells = list(cells)
+        self.done = threading.Event()
+        self.results: list = []
+
+
+class _ShardQueue:
+    """A work-stealing queue: jobs shard by test name, idle threads steal.
+
+    Sharding keeps batches for one test on one dispatcher (warm per-test
+    affinity when a client streams related requests), while stealing
+    keeps every dispatcher busy whenever *any* shard has work — the
+    standard deque-per-worker arrangement, sized to threads not cores.
+    """
+
+    def __init__(self, shards: int) -> None:
+        self._shards: list[deque] = [deque() for _ in range(max(1, shards))]
+        self._cond = threading.Condition()
+
+    def push(self, job: _Job) -> None:
+        shard = crc32(job.test.name.encode("utf-8")) % len(self._shards)
+        with self._cond:
+            self._shards[shard].append(job)
+            self._cond.notify()
+
+    def pop(self, home: int, timeout: float) -> Optional[_Job]:
+        """The next job for dispatcher ``home``: own shard first, then steal."""
+        home %= len(self._shards)
+        with self._cond:
+            if not any(self._shards):
+                self._cond.wait(timeout)
+            order = itertools.chain(
+                (home,), (i for i in range(len(self._shards)) if i != home)
+            )
+            for shard in order:
+                if self._shards[shard]:
+                    return self._shards[shard].popleft()
+            return None
+
+    def depth(self) -> int:
+        with self._cond:
+            return sum(len(shard) for shard in self._shards)
+
+
+class _WarmPool:
+    """The daemon's long-lived executor, restartable under a generation guard.
+
+    ``restart(generation)`` kills and replaces the pool only if nobody
+    else already did — the boolean answer is how a dispatcher tells
+    "my batch broke the pool" (charge the retry budget) from "someone
+    else's deadline kill broke my future" (resubmit for free).
+    """
+
+    def __init__(self, workers: int) -> None:
+        self._workers = max(1, workers)
+        self._lock = threading.Lock()
+        self._generation = 0
+        self._pool: Optional[ProcessPoolExecutor] = ProcessPoolExecutor(
+            max_workers=self._workers
+        )
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    def submit(self, payload: tuple):
+        """Submit one batch payload; returns ``(generation, future)``."""
+        with self._lock:
+            if self._pool is None:
+                raise RuntimeError("warm pool is shut down")
+            return self._generation, self._pool.submit(_run_batch, payload)
+
+    def restart(self, generation: int) -> bool:
+        """Replace the pool; False when ``generation`` is already stale."""
+        with self._lock:
+            if self._pool is None or generation != self._generation:
+                return False
+            _kill_executor(self._pool)
+            self._pool = ProcessPoolExecutor(max_workers=self._workers)
+            self._generation += 1
+            return True
+
+    def shutdown(self) -> None:
+        with self._lock:
+            if self._pool is not None:
+                _kill_executor(self._pool)
+                self._pool = None
+
+
+_ERROR_STATUS = {
+    "protocol-mismatch": 409,
+    "engine-version-mismatch": 409,
+    "bad-request": 400,
+    "unknown-endpoint": 404,
+}
+
+
+class VerdictService:
+    """Endpoint logic + warm pool + shared store, transport-agnostic.
+
+    The HTTP layer (:class:`VerdictServer`) is a thin shell over
+    :meth:`handle`, which is why the protocol tests can drive a service
+    in-process without ever opening a socket.
+    """
+
+    def __init__(
+        self,
+        cache_dir,
+        workers: int = 2,
+        dispatchers: Optional[int] = None,
+        policy: Optional[ExecutionPolicy] = None,
+    ) -> None:
+        self.cache = ResultCache(cache_dir)
+        self.cache.purge_stale_tmp(_STALE_TMP_SECONDS, now=time.time())
+        self.policy = policy if policy is not None else DEFAULT_SERVE_POLICY
+        self._recorder = _LockingRecorder()
+        self._pool = _WarmPool(workers)
+        self._queue = _ShardQueue(dispatchers or workers)
+        self._batch_counter = itertools.count()
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._dispatchers = [
+            threading.Thread(target=self._dispatch_loop, args=(i,), daemon=True)
+            for i in range(dispatchers or workers)
+        ]
+        for thread in self._dispatchers:
+            thread.start()
+
+    # -- request handling ----------------------------------------------
+
+    def handle(self, endpoint: str, body: dict) -> tuple[int, dict]:
+        """Answer one request; returns ``(http_status, response_body)``.
+
+        Protocol refusals become structured error envelopes; nothing
+        here raises for request-shaped problems (a daemon answers, it
+        does not crash).
+        """
+        started = monotonic()
+        self._recorder.incr("serve.requests")
+        try:
+            if endpoint not in ENDPOINTS:
+                raise ServeProtocolError(
+                    "unknown-endpoint",
+                    f"no endpoint {endpoint!r}; available: {', '.join(sorted(ENDPOINTS))}",
+                )
+            self._recorder.incr(f"serve.requests.by.{endpoint}")
+            if endpoint == "status":
+                return 200, self._status_payload()
+            check_handshake(body, "client")
+            cells = self._decode_cells(endpoint, body)
+            return 200, self._answer(cells)
+        except ServeProtocolError as exc:
+            self._recorder.incr("serve.errors")
+            return _ERROR_STATUS[exc.kind], error_envelope(exc.kind, str(exc))
+        finally:
+            self._recorder.observe("serve.request.seconds", monotonic() - started)
+
+    def _decode_cells(self, endpoint: str, body: dict) -> list[CellSpec]:
+        raw = body.get("cells")
+        if not isinstance(raw, list) or not raw:
+            raise ServeProtocolError("bad-request", "'cells' must be a non-empty list")
+        cells = [decode_cell(item) for item in raw]
+        kinds = {type(cell).__name__ for cell in cells}
+        if endpoint == "verdict" and (len(cells) != 1 or kinds != {"VerdictSpec"}):
+            raise ServeProtocolError(
+                "bad-request", "'verdict' takes exactly one verdict cell"
+            )
+        if endpoint == "matrix" and kinds != {"VerdictSpec"}:
+            raise ServeProtocolError(
+                "bad-request", "'matrix' takes verdict cells only"
+            )
+        if endpoint == "check" and kinds != {"OutcomeSpec"}:
+            raise ServeProtocolError(
+                "bad-request", "'check' takes outcomes cells only"
+            )
+        return cells
+
+    def _answer(self, cells: list[CellSpec]) -> dict:
+        """Cache-first evaluation: hits inline, misses through the pool."""
+        self._recorder.incr("serve.cells.remote", len(cells))
+        results: list = [None] * len(cells)
+        miss_indices: list[int] = []
+        for i, cell in enumerate(cells):
+            cached = self.cache.load(cell)
+            if cached is not None:
+                results[i] = cached
+            else:
+                miss_indices.append(i)
+        hits = len(cells) - len(miss_indices)
+        if hits:
+            self._recorder.incr("serve.cache.remote_hits", hits)
+        jobs: list[tuple[_Job, list[int]]] = []
+        misses = [cells[i] for i in miss_indices]
+        for test, group_indices in _group_by_test(misses):
+            job = _Job(
+                next(self._batch_counter), test, [misses[j] for j in group_indices]
+            )
+            jobs.append((job, [miss_indices[j] for j in group_indices]))
+            self._queue.push(job)
+        self._recorder.observe("serve.queue.depth", self._queue.depth())
+        for job, indices in jobs:
+            job.done.wait()
+            for index, result in zip(indices, job.results):
+                results[index] = result
+        return response_envelope(
+            results=[encode_result(r) for r in results],
+            stats={"remote_hits": hits, "evaluated": len(miss_indices)},
+        )
+
+    def _status_payload(self) -> dict:
+        inventory = self.cache.stats()
+        return response_envelope(
+            endpoints=sorted(ENDPOINTS),
+            workers=self._pool.workers,
+            dispatchers=len(self._dispatchers),
+            queue_depth=self._queue.depth(),
+            cache={
+                "dir": str(self.cache.root),
+                "entries": inventory.entries,
+                "entry_bytes": inventory.entry_bytes,
+                "tmp_files": inventory.tmp_files,
+            },
+            counters=self._recorder.snapshot().counters,
+        )
+
+    # -- dispatch ------------------------------------------------------
+
+    def _dispatch_loop(self, index: int) -> None:
+        while not self._stop.is_set():
+            job = self._queue.pop(index, timeout=0.1)
+            if job is None:
+                continue
+            try:
+                job.results = self._run_job(job)
+            except Exception as exc:  # pragma: no cover - last-resort guard
+                job.results = [
+                    CellFailure(job.test.name, "error", f"{type(exc).__name__}: {exc}")
+                ] * len(job.cells)
+            finally:
+                job.done.set()
+
+    def _run_job(self, job: _Job) -> list:
+        """One batch through the warm pool under the policy's semantics."""
+        self._recorder.incr("serve.batches.dispatched")
+        attempt = 1
+        while True:
+            payload = (
+                job.batch_index,
+                attempt,
+                job.test,
+                job.cells,
+                str(self.cache.root),
+                True,  # collect worker stats; snapshots merge into status
+                None,  # fault plans are a local-engine test harness
+            )
+            generation, future = self._pool.submit(payload)
+            with self._inflight_lock:
+                self._inflight += 1
+                self._recorder.observe("serve.workers.busy", self._inflight)
+            try:
+                tagged = future.result(timeout=self.policy.timeout)
+            except FutureTimeout:
+                self._pool.restart(generation)
+                reason, message = (
+                    "timeout",
+                    f"batch exceeded the {self.policy.timeout}s deadline",
+                )
+            except BrokenProcessPool:
+                if not self._pool.restart(generation):
+                    continue  # collateral damage of another batch's kill
+                reason, message = "crash", "worker process died mid-batch"
+            else:
+                tag = tagged[0]
+                if tag == "ok":
+                    _, batch_results, snapshot = tagged
+                    if snapshot is not None:
+                        self._recorder.merge(snapshot)
+                    return list(batch_results)
+                if tag == "domain-overflow":
+                    return self._failures(job, "domain-overflow", tagged[2], attempt)
+                reason, message = "error", tagged[2]
+            finally:
+                with self._inflight_lock:
+                    self._inflight -= 1
+            if attempt > self.policy.retries:
+                return self._failures(job, reason, message, attempt)
+            attempt += 1
+            _backoff_sleep(self.policy, attempt)
+
+    def _failures(self, job: _Job, reason: str, message: str, attempts: int) -> list:
+        if self.policy.on_error == ON_ERROR_QUARANTINE:
+            self._recorder.incr("engine.batches.quarantined")
+        failure = CellFailure(
+            test_name=job.test.name, reason=reason, message=message, attempts=attempts
+        )
+        return [failure] * len(job.cells)
+
+    # -- results for the cache-hit path --------------------------------
+
+    def counters(self) -> dict[str, int]:
+        """A copy of the daemon's counter totals (for status and tests)."""
+        return self._recorder.snapshot().counters
+
+    def close(self) -> None:
+        """Stop dispatchers and shut the warm pool down."""
+        self._stop.set()
+        for thread in self._dispatchers:
+            thread.join(timeout=2.0)
+        self._pool.shutdown()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-serve"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # the daemon's telemetry is the log; stderr stays quiet
+
+    def _service(self) -> VerdictService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def _reply(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:
+        status, payload = self._service().handle(self.path.strip("/"), {})
+        self._reply(status, payload)
+
+    def do_POST(self) -> None:
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+            body = json.loads(self.rfile.read(length).decode("utf-8"))
+        except ValueError:
+            self._service()._recorder.incr("serve.requests")
+            self._service()._recorder.incr("serve.errors")
+            self._reply(400, error_envelope("bad-request", "request body is not JSON"))
+            return
+        status, payload = self._service().handle(self.path.strip("/"), body)
+        self._reply(status, payload)
+
+
+class VerdictServer:
+    """The HTTP shell: a ``ThreadingHTTPServer`` bound to a service."""
+
+    def __init__(
+        self, service: VerdictService, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.service = service
+        self._http = ThreadingHTTPServer((host, port), _Handler)
+        self._http.service = service  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        host, port = self._http.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "VerdictServer":
+        """Serve on a background thread (tests, embedded use)."""
+        self._thread = threading.Thread(target=self._http.serve_forever, daemon=True)
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until interrupted (`repro serve start`)."""
+        try:
+            self._http.serve_forever()
+        except KeyboardInterrupt:
+            pass
+
+    def close(self) -> None:
+        self._http.shutdown()
+        self._http.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+        self.service.close()

@@ -1,0 +1,280 @@
+"""The verdict-service wire protocol: versioned JSON, content not pickles.
+
+Everything crossing the client/daemon boundary is content-addressed
+JSON.  A cell travels as the *text* of its litmus test (the byte-stable
+``print_litmus`` form), the *text* of its model spec (``print_model``),
+its oracle string and projection — never as a pickle, so the daemon
+re-parses and re-validates everything it executes and a malicious or
+stale client cannot smuggle code or mismatched bytecode across the
+socket.  Results travel back as the cache's canonical outcome JSON
+(:func:`repro.engine.outcomes_to_json`), so a result crossing the wire
+is byte-for-byte the result the local engine would have produced.
+
+Every request and response carries a handshake header: the protocol
+version (:data:`PROTOCOL_VERSION`) and the sender's
+:data:`~repro.engine.cells.ENGINE_VERSION`.  A mismatch in either is a
+*hard* error — a protocol mismatch means the schemas differ, an engine
+mismatch means the two sides would disagree about what a result even
+means — and is reported with a structured error envelope
+(:data:`ERROR_KINDS`), never with silent coercion.  Transport failures,
+by contrast, are soft: the client retries and falls back to the local
+engine (see :mod:`repro.serve.client`).
+
+Per-cell failures are not protocol errors.  A batch that times out or
+crashes server-side under the daemon's :class:`~repro.engine.policy
+.ExecutionPolicy` comes back as a ``failure`` result whose ``reason``
+is one of :data:`~repro.engine.policy.FAILURE_REASONS` — the same
+:class:`~repro.engine.policy.CellFailure` sentinel the local engine
+yields, reconstructed client-side.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..engine.cache import outcomes_from_json, outcomes_to_json
+from ..engine.cells import (
+    ENGINE_VERSION,
+    CellResult,
+    CellSpec,
+    OutcomeSpec,
+    VerdictSpec,
+    parse_oracle,
+)
+from ..engine.policy import FAILURE_REASONS, CellFailure
+from ..litmus import parse_litmus, print_litmus
+from ..models.spec import parse_model, print_model, resolve_model
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ENDPOINTS",
+    "ERROR_KINDS",
+    "ServeError",
+    "ServeProtocolError",
+    "ServeUnavailableError",
+    "ServeDroppedError",
+    "encode_cell",
+    "decode_cell",
+    "encode_result",
+    "decode_result",
+    "request_envelope",
+    "response_envelope",
+    "error_envelope",
+    "check_handshake",
+]
+
+PROTOCOL_VERSION = 1
+"""Bumped whenever request/response schemas change incompatibly."""
+
+ENDPOINTS: dict[str, str] = {
+    "status": (
+        "GET/POST handshake and liveness probe: protocol + engine "
+        "versions, endpoint list, worker count, queue depth and shared-"
+        "store inventory; the client's first call on every connection"
+    ),
+    "verdict": (
+        "POST exactly one `verdict` cell; the response's single result "
+        "answers \"is this outcome allowed?\" for the cell's (test, "
+        "model, oracle)"
+    ),
+    "matrix": (
+        "POST a grid of `verdict` cells (a suite x model-zoo verdict "
+        "matrix); results come back in request order"
+    ),
+    "check": (
+        "POST `outcomes` cells (full outcome-set enumerations, e.g. the "
+        "paired axiomatic/operational cells of an equivalence check)"
+    ),
+    "batch": (
+        "POST any mix of cells — the general endpoint `RemoteScheduler` "
+        "uses; the other cell endpoints are validated subsets of it"
+    ),
+}
+"""Endpoint vocabulary, rendered into ``docs/serving.md``."""
+
+ERROR_KINDS: dict[str, str] = {
+    "protocol-mismatch": (
+        "the two sides speak different protocol versions; the client "
+        "must not fall back silently — upgrade one side"
+    ),
+    "engine-version-mismatch": (
+        "the two sides run different ENGINE_VERSIONs, so their results "
+        "are not interchangeable; refused rather than coerced"
+    ),
+    "bad-request": (
+        "the request body was not valid JSON for the endpoint's schema "
+        "(unparsable litmus/model text, wrong cell kind, missing field)"
+    ),
+    "unknown-endpoint": "the request path names no declared endpoint",
+}
+"""Structured error-envelope vocabulary, rendered into ``docs/serving.md``."""
+
+
+class ServeError(RuntimeError):
+    """Base class for verdict-service failures."""
+
+
+class ServeProtocolError(ServeError):
+    """A hard protocol-level refusal (version mismatch, bad schema).
+
+    Never triggers local fallback: the two sides disagree about meaning,
+    and recomputing locally would mask a deployment bug.
+    """
+
+    def __init__(self, kind: str, message: str) -> None:
+        super().__init__(f"{kind}: {message}")
+        self.kind = kind
+
+
+class ServeUnavailableError(ServeError):
+    """The server could not be reached at all (connect refused/timed out)."""
+
+
+class ServeDroppedError(ServeError):
+    """The connection died mid-request; the attempt may be retried."""
+
+
+def encode_cell(cell: CellSpec) -> dict:
+    """Serialize a cell spec by content for the wire.
+
+    Raises :class:`~repro.litmus.LitmusPrintError` for tests outside the
+    printable subset — callers treat that as "this grid cannot be served
+    remotely" and evaluate locally.
+    """
+    parse_oracle(cell.oracle)  # validate before shipping
+    payload = {
+        "test": print_litmus(cell.test),
+        "model": print_model(resolve_model(cell.model)),
+        "oracle": cell.oracle,
+    }
+    if isinstance(cell, VerdictSpec):
+        payload["kind"] = "verdict"
+    elif isinstance(cell, OutcomeSpec):
+        payload["kind"] = "outcomes"
+        payload["project"] = cell.project
+    else:
+        raise TypeError(f"unknown cell spec {cell!r}")
+    return payload
+
+
+def decode_cell(payload: dict) -> CellSpec:
+    """Parse one wire cell back into an engine spec.
+
+    Raises :class:`ServeProtocolError` (``bad-request``) on any shape or
+    parse failure — the daemon maps it straight to an error envelope.
+    """
+    if not isinstance(payload, dict):
+        raise ServeProtocolError("bad-request", f"cell must be an object, got {type(payload).__name__}")
+    kind = payload.get("kind")
+    if kind not in ("verdict", "outcomes"):
+        raise ServeProtocolError("bad-request", f"unknown cell kind {kind!r}")
+    for field in ("test", "model"):
+        if not isinstance(payload.get(field), str):
+            raise ServeProtocolError("bad-request", f"cell {field!r} must be litmus/model text")
+    oracle = payload.get("oracle", "axiomatic")
+    try:
+        parse_oracle(oracle)
+        test = parse_litmus(payload["test"])
+        model = parse_model(payload["model"], source="<wire>")
+    except ServeError:
+        raise
+    except Exception as exc:
+        raise ServeProtocolError("bad-request", f"unparsable cell content: {exc}") from exc
+    if kind == "verdict":
+        return VerdictSpec(test, model, oracle=oracle)
+    project = payload.get("project", "full")
+    if not isinstance(project, str):
+        raise ServeProtocolError("bad-request", "cell 'project' must be a string")
+    return OutcomeSpec(test, model, project=project, oracle=oracle)
+
+
+def encode_result(result: Union[CellResult, CellFailure]) -> dict:
+    """Serialize one cell result (or failure sentinel) for the wire."""
+    if isinstance(result, CellFailure):
+        return {
+            "kind": "failure",
+            "test": result.test_name,
+            "reason": result.reason,
+            "message": result.message,
+            "attempts": result.attempts,
+        }
+    if isinstance(result, bool):
+        return {"kind": "verdict", "allowed": result}
+    if isinstance(result, frozenset):
+        return {"kind": "outcomes", "outcomes": outcomes_to_json(result)}
+    raise TypeError(f"unknown cell result {result!r}")
+
+
+def decode_result(payload: dict) -> Union[CellResult, CellFailure]:
+    """Parse one wire result back into the engine's result types.
+
+    Failure envelopes become real :class:`CellFailure` sentinels (with
+    an empty traceback — worker tracebacks stay server-side), so remote
+    and local failure handling share one code path.
+    """
+    if not isinstance(payload, dict):
+        raise ServeProtocolError("bad-request", f"result must be an object, got {type(payload).__name__}")
+    kind = payload.get("kind")
+    try:
+        if kind == "verdict":
+            return bool(payload["allowed"])
+        if kind == "outcomes":
+            return outcomes_from_json(payload["outcomes"])
+        if kind == "failure":
+            reason = payload["reason"]
+            if reason not in FAILURE_REASONS:
+                raise ServeProtocolError("bad-request", f"unknown failure reason {reason!r}")
+            return CellFailure(
+                test_name=str(payload["test"]),
+                reason=reason,
+                message=str(payload["message"]),
+                attempts=int(payload.get("attempts", 1)),
+            )
+    except ServeError:
+        raise
+    except Exception as exc:
+        raise ServeProtocolError("bad-request", f"malformed {kind!r} result: {exc}") from exc
+    raise ServeProtocolError("bad-request", f"unknown result kind {kind!r}")
+
+
+def request_envelope(cells: Optional[list[dict]] = None) -> dict:
+    """A request body carrying the handshake header (plus cells, if any)."""
+    body: dict = {"protocol": PROTOCOL_VERSION, "engine_version": ENGINE_VERSION}
+    if cells is not None:
+        body["cells"] = cells
+    return body
+
+
+def response_envelope(**payload) -> dict:
+    """A response body carrying the handshake header plus ``payload``."""
+    return {"protocol": PROTOCOL_VERSION, "engine_version": ENGINE_VERSION, **payload}
+
+
+def error_envelope(kind: str, message: str) -> dict:
+    """A structured error response (``kind`` from :data:`ERROR_KINDS`)."""
+    if kind not in ERROR_KINDS:
+        raise ValueError(f"unknown error kind {kind!r}")
+    return response_envelope(error={"kind": kind, "message": message})
+
+
+def check_handshake(body: dict, side: str) -> None:
+    """Refuse a body whose handshake header disagrees with this build.
+
+    ``side`` names the peer ("client"/"server") for the error message.
+    Raises :class:`ServeProtocolError` with the matching error kind.
+    """
+    if not isinstance(body, dict):
+        raise ServeProtocolError("bad-request", f"{side} sent a non-object body")
+    protocol = body.get("protocol")
+    if protocol != PROTOCOL_VERSION:
+        raise ServeProtocolError(
+            "protocol-mismatch",
+            f"{side} speaks protocol {protocol!r}, this build speaks {PROTOCOL_VERSION}",
+        )
+    engine = body.get("engine_version")
+    if engine != ENGINE_VERSION:
+        raise ServeProtocolError(
+            "engine-version-mismatch",
+            f"{side} runs engine version {engine!r}, this build runs "
+            f"{ENGINE_VERSION}; results are not interchangeable",
+        )

@@ -1,0 +1,520 @@
+"""Verdict-as-a-service: protocol codec, daemon, client and shared store.
+
+Exercises all three layers of ``repro.serve`` (see ``docs/serving.md``):
+the wire codec must round-trip cells and results losslessly, the daemon
+must answer every endpoint with the same results the local engine
+produces (cache-first on a warm store), and ``RemoteScheduler`` must
+honour the failure discipline — transparent local fallback for an
+unreachable server, one retry for a dropped connection, a hard error
+for a protocol or engine-version mismatch.  The shared store's
+concurrency contract (multi-process writers, crash-orphan guards,
+export/import refusals) is pinned here too.
+"""
+
+import json
+import multiprocessing
+import os
+import tarfile
+import io
+
+import pytest
+
+from repro.engine import (
+    CellFailure,
+    ResultCache,
+    CacheTransferError,
+    OutcomeSpec,
+    VerdictSpec,
+    cell_cache_key,
+    evaluate_cells,
+    parse_fault_plan,
+)
+from repro.engine.cells import ENGINE_VERSION
+from repro.litmus.registry import get_test
+from repro.obs import collecting
+from repro.serve import (
+    ENDPOINTS,
+    PROTOCOL_VERSION,
+    RemoteScheduler,
+    ServeClient,
+    ServeDroppedError,
+    ServeProtocolError,
+    VerdictServer,
+    VerdictService,
+    decode_cell,
+    decode_result,
+    encode_cell,
+    encode_result,
+)
+from repro.serve.protocol import (
+    check_handshake,
+    error_envelope,
+    request_envelope,
+)
+
+
+def _verdict_cells(*names, models=("sc", "gam")):
+    return [
+        VerdictSpec(get_test(name), model) for name in names for model in models
+    ]
+
+
+def _body(cells):
+    return request_envelope([encode_cell(cell) for cell in cells])
+
+
+@pytest.fixture
+def service(tmp_path):
+    svc = VerdictService(tmp_path / "store", workers=1, dispatchers=2)
+    yield svc
+    svc.close()
+
+
+class TestWireCodec:
+    def test_verdict_cell_round_trips(self):
+        cell = VerdictSpec(get_test("mp"), "gam")
+        wire = encode_cell(cell)
+        assert wire["kind"] == "verdict"
+        assert "po" in wire["model"]  # model ships as spec text, not a name
+        decoded = decode_cell(json.loads(json.dumps(wire)))
+        assert isinstance(decoded, VerdictSpec)
+        assert cell_cache_key(decoded) == cell_cache_key(cell)
+
+    def test_outcomes_cell_round_trips(self):
+        cell = OutcomeSpec(get_test("dekker"), "sc", oracle="operational:sc")
+        decoded = decode_cell(encode_cell(cell))
+        assert isinstance(decoded, OutcomeSpec)
+        assert decoded.project == "full"
+        assert decoded.oracle == "operational:sc"
+        assert cell_cache_key(decoded) == cell_cache_key(cell)
+
+    def test_results_round_trip(self):
+        assert decode_result(encode_result(True)) is True
+        assert decode_result(encode_result(False)) is False
+        (outcomes,) = evaluate_cells([OutcomeSpec(get_test("mp"), "gam")])
+        assert decode_result(encode_result(outcomes)) == outcomes
+
+    def test_failure_round_trips_as_real_sentinel(self):
+        failure = CellFailure("mp", "timeout", "deadline", attempts=2)
+        decoded = decode_result(encode_result(failure))
+        assert isinstance(decoded, CellFailure)
+        assert (decoded.test_name, decoded.reason, decoded.attempts) == (
+            "mp",
+            "timeout",
+            2,
+        )
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "not-an-object",
+            {"kind": "pickle"},
+            {"kind": "verdict", "test": 7, "model": "sc"},
+            {"kind": "verdict", "test": "not litmus", "model": "po; rf"},
+        ],
+    )
+    def test_bad_cells_are_bad_requests(self, payload):
+        with pytest.raises(ServeProtocolError) as excinfo:
+            decode_cell(payload)
+        assert excinfo.value.kind == "bad-request"
+
+    def test_bad_results_are_bad_requests(self):
+        for payload in (
+            {"kind": "mystery"},
+            {"kind": "failure", "test": "mp", "reason": "gremlins", "message": ""},
+            {"kind": "verdict"},
+        ):
+            with pytest.raises(ServeProtocolError) as excinfo:
+                decode_result(payload)
+            assert excinfo.value.kind == "bad-request"
+
+    def test_handshake_refuses_mismatches(self):
+        good = request_envelope()
+        check_handshake(good, "client")  # no raise
+        with pytest.raises(ServeProtocolError) as excinfo:
+            check_handshake({**good, "protocol": PROTOCOL_VERSION + 1}, "client")
+        assert excinfo.value.kind == "protocol-mismatch"
+        with pytest.raises(ServeProtocolError) as excinfo:
+            check_handshake({**good, "engine_version": -1}, "client")
+        assert excinfo.value.kind == "engine-version-mismatch"
+
+    def test_error_envelope_vocabulary_is_closed(self):
+        envelope = error_envelope("bad-request", "nope")
+        assert envelope["error"] == {"kind": "bad-request", "message": "nope"}
+        with pytest.raises(ValueError, match="unknown error kind"):
+            error_envelope("teapot", "I'm one")
+
+
+class TestVerdictService:
+    def test_verdict_endpoint_matches_local_engine(self, service):
+        cell = VerdictSpec(get_test("mp"), "gam")
+        status, payload = service.handle("verdict", _body([cell]))
+        assert status == 200
+        (result,) = [decode_result(r) for r in payload["results"]]
+        assert result == evaluate_cells([cell])[0]
+        assert payload["stats"] == {"remote_hits": 0, "evaluated": 1}
+
+    def test_matrix_endpoint_preserves_request_order(self, service):
+        cells = _verdict_cells("mp", "dekker", "lb")
+        status, payload = service.handle("matrix", _body(cells))
+        assert status == 200
+        remote = [decode_result(r) for r in payload["results"]]
+        assert remote == evaluate_cells(cells)
+
+    def test_check_endpoint_ships_outcome_sets(self, service):
+        cells = [
+            OutcomeSpec(get_test("mp"), "gam"),
+            OutcomeSpec(get_test("mp"), "gam", oracle="operational:gam"),
+        ]
+        status, payload = service.handle("check", _body(cells))
+        assert status == 200
+        remote = [decode_result(r) for r in payload["results"]]
+        assert remote == evaluate_cells(cells)
+
+    def test_warm_pass_answers_from_the_shared_store(self, service):
+        cells = _verdict_cells("mp", "dekker")
+        _, cold = service.handle("batch", _body(cells))
+        assert cold["stats"] == {"remote_hits": 0, "evaluated": 4}
+        _, warm = service.handle("batch", _body(cells))
+        assert warm["stats"] == {"remote_hits": 4, "evaluated": 0}
+        assert warm["results"] == cold["results"]
+        counters = service.counters()
+        assert counters["serve.cache.remote_hits"] == 4
+        assert counters["serve.requests"] == 2
+
+    def test_endpoint_schemas_are_enforced(self, service):
+        verdict = VerdictSpec(get_test("mp"), "sc")
+        outcome = OutcomeSpec(get_test("mp"), "sc")
+        for endpoint, cells in (
+            ("verdict", [verdict, verdict]),
+            ("matrix", [outcome]),
+            ("check", [verdict]),
+        ):
+            status, payload = service.handle(endpoint, _body(cells))
+            assert status == 400
+            assert payload["error"]["kind"] == "bad-request"
+        status, payload = service.handle("batch", request_envelope([]))
+        assert status == 400
+
+    def test_unknown_endpoint_and_handshake_refusals(self, service):
+        status, payload = service.handle("teapot", request_envelope())
+        assert status == 404
+        assert payload["error"]["kind"] == "unknown-endpoint"
+        body = _body([VerdictSpec(get_test("mp"), "sc")])
+        status, payload = service.handle("batch", {**body, "protocol": 999})
+        assert status == 409
+        assert payload["error"]["kind"] == "protocol-mismatch"
+        status, payload = service.handle("batch", {**body, "engine_version": 1})
+        assert status == 409
+        assert payload["error"]["kind"] == "engine-version-mismatch"
+        assert service.counters()["serve.errors"] == 3
+
+    def test_status_payload_describes_the_daemon(self, service):
+        status, payload = service.handle("status", {})
+        assert status == 200
+        assert payload["protocol"] == PROTOCOL_VERSION
+        assert payload["engine_version"] == ENGINE_VERSION
+        assert payload["endpoints"] == sorted(ENDPOINTS)
+        assert payload["workers"] == 1
+        assert payload["cache"]["entries"] == 0
+
+
+class TestVerdictServer:
+    def test_http_round_trip_and_status(self, tmp_path):
+        service = VerdictService(tmp_path / "store", workers=1)
+        server = VerdictServer(service).start()
+        try:
+            client = ServeClient(server.url)
+            status = client.status()
+            assert status["endpoints"] == sorted(ENDPOINTS)
+            cells = _verdict_cells("mp")
+            payload = client.post("batch", _body(cells))
+            remote = [decode_result(r) for r in payload["results"]]
+            assert remote == evaluate_cells(cells)
+            with pytest.raises(ServeProtocolError) as excinfo:
+                client.post("teapot", request_envelope())
+            assert excinfo.value.kind == "unknown-endpoint"
+        finally:
+            server.close()
+
+    def test_stale_client_is_refused_not_served(self, tmp_path):
+        service = VerdictService(tmp_path / "store", workers=1)
+        server = VerdictServer(service).start()
+        try:
+            client = ServeClient(server.url)
+            body = {**_body(_verdict_cells("mp")), "protocol": 999}
+            with pytest.raises(ServeProtocolError) as excinfo:
+                client.post("batch", body)
+            assert excinfo.value.kind == "protocol-mismatch"
+        finally:
+            server.close()
+
+
+class _StubClient:
+    """A scriptable transport: each entry is an exception or a service."""
+
+    def __init__(self, script):
+        self.script = list(script)
+        self.calls = 0
+
+    def post(self, endpoint, body):
+        self.calls += 1
+        action = self.script.pop(0) if self.script else self.script
+        if isinstance(action, Exception):
+            raise action
+        status, payload = action.handle(endpoint, body)
+        error = payload.get("error")
+        if error is not None:
+            raise ServeProtocolError(error["kind"], error["message"])
+        return payload
+
+
+class TestRemoteScheduler:
+    def test_remote_results_equal_local(self, tmp_path):
+        service = VerdictService(tmp_path / "store", workers=1)
+        server = VerdictServer(service).start()
+        try:
+            scheduler = RemoteScheduler(server.url)
+            cells = _verdict_cells("mp", "dekker") + [OutcomeSpec(get_test("lb"), "gam")]
+            with collecting() as recorder:
+                remote = scheduler.evaluate_cells(cells)
+            assert remote == evaluate_cells(cells)
+            counters = recorder.snapshot().counters
+            assert counters["serve.client.requests"] == 1
+            assert "serve.client.fallbacks" not in counters
+        finally:
+            server.close()
+
+    def test_remote_warm_pass_reports_store_hits(self, tmp_path):
+        service = VerdictService(tmp_path / "store", workers=1)
+        server = VerdictServer(service).start()
+        try:
+            scheduler = RemoteScheduler(server.url)
+            cells = _verdict_cells("mp")
+            scheduler.evaluate_cells(cells)
+            with collecting() as recorder:
+                scheduler.evaluate_cells(cells)
+            assert recorder.snapshot().counters["serve.cache.remote_hits"] == 2
+        finally:
+            server.close()
+
+    def test_server_down_falls_back_transparently(self):
+        scheduler = RemoteScheduler("http://127.0.0.1:1", timeout=0.5)
+        cells = _verdict_cells("mp")
+        with collecting() as recorder:
+            results = scheduler.evaluate_cells(cells)
+        assert results == evaluate_cells(cells)
+        counters = recorder.snapshot().counters
+        assert counters["serve.client.requests"] == 1
+        assert counters["serve.client.fallbacks"] == 1
+        assert "serve.client.retries" not in counters
+
+    def test_dropped_connection_retries_once_then_succeeds(self, service):
+        stub = _StubClient([ServeDroppedError("mid-request"), service])
+        scheduler = RemoteScheduler("http://stub", client=stub)
+        cells = _verdict_cells("mp")
+        with collecting() as recorder:
+            results = scheduler.evaluate_cells(cells)
+        assert results == evaluate_cells(cells)
+        counters = recorder.snapshot().counters
+        assert stub.calls == 2
+        assert counters["serve.client.requests"] == 1
+        assert counters["serve.client.retries"] == 1
+        assert "serve.client.fallbacks" not in counters
+
+    def test_dropped_twice_falls_back_without_double_counting(self):
+        stub = _StubClient(
+            [ServeDroppedError("first"), ServeDroppedError("second")]
+        )
+        scheduler = RemoteScheduler("http://stub", client=stub)
+        cells = _verdict_cells("mp")
+        with collecting() as recorder:
+            results = scheduler.evaluate_cells(cells)
+        assert results == evaluate_cells(cells)
+        counters = recorder.snapshot().counters
+        assert stub.calls == 2
+        assert counters["serve.client.requests"] == 1
+        assert counters["serve.client.retries"] == 1
+        assert counters["serve.client.fallbacks"] == 1
+
+    def test_version_mismatch_is_a_hard_error_not_a_fallback(self):
+        stub = _StubClient(
+            [ServeProtocolError("engine-version-mismatch", "old build")]
+        )
+        scheduler = RemoteScheduler("http://stub", client=stub)
+        with collecting() as recorder:
+            with pytest.raises(ServeProtocolError) as excinfo:
+                scheduler.evaluate_cells(_verdict_cells("mp"))
+        assert excinfo.value.kind == "engine-version-mismatch"
+        assert "serve.client.fallbacks" not in recorder.snapshot().counters
+
+    def test_armed_fault_plan_stays_local(self):
+        stub = _StubClient([])  # any post would raise IndexError-ish
+        scheduler = RemoteScheduler("http://stub", client=stub)
+        plan = parse_fault_plan("raise:test=no-such-test")
+        cells = _verdict_cells("mp")
+        with collecting() as recorder:
+            results = scheduler.evaluate_cells(cells, fault_plan=plan)
+        assert results == evaluate_cells(cells)
+        assert stub.calls == 0
+        assert recorder.snapshot().counters["serve.client.fallbacks"] == 1
+
+    def test_on_batch_fires_per_test_like_the_engine(self, service):
+        scheduler = RemoteScheduler("http://stub", client=_StubClient([service]))
+        cells = _verdict_cells("mp", "dekker")
+        seen = []
+        scheduler.evaluate_cells(
+            cells, on_batch=lambda test, batch: seen.append((test.name, len(batch)))
+        )
+        assert seen == [("mp", 2), ("dekker", 2)]
+
+    def test_bad_urls_are_rejected_eagerly(self):
+        with pytest.raises(ValueError, match="scheme"):
+            ServeClient("ftp://host:1")
+        with pytest.raises(ValueError, match="no host"):
+            ServeClient("http://")
+        assert ServeClient("localhost:7907").port == 7907
+
+
+def _hammer_store(root, names, rounds):
+    """One writer process: store/load the same keys over and over."""
+    cache = ResultCache(root)
+    cells = [
+        VerdictSpec(get_test(name), model)
+        for name in names
+        for model in ("sc", "gam")
+    ]
+    expected = {cell_cache_key(c): evaluate_cells([c])[0] for c in cells}
+    for _ in range(rounds):
+        for cell in cells:
+            cache.store(cell, expected[cell_cache_key(cell)])
+            loaded = cache.load(cell)
+            if loaded is not None and loaded != expected[cell_cache_key(cell)]:
+                return f"torn read for {cell_cache_key(cell)}"
+    return "ok"
+
+
+class TestConcurrentStore:
+    def test_two_processes_hammer_one_store(self, tmp_path):
+        """Satellite regression: concurrent multi-process writers are safe."""
+        root = str(tmp_path / "store")
+        ctx = multiprocessing.get_context("spawn")
+        with ctx.Pool(2) as pool:
+            outcomes = pool.starmap(
+                _hammer_store, [(root, ("mp", "dekker"), 25), (root, ("mp", "dekker"), 25)]
+            )
+        assert outcomes == ["ok", "ok"]
+        stats = ResultCache(root).stats()
+        assert stats.entries == 4
+        assert stats.tmp_files == 0  # no crash orphans from the race
+
+    def test_failed_spool_leaves_no_orphan(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path)
+        cell = VerdictSpec(get_test("mp"), "sc")
+
+        def _explode(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os, "replace", _explode)
+        with pytest.raises(OSError, match="disk full"):
+            cache.store(cell, True)
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_store_survives_directory_deletion(self, tmp_path):
+        root = tmp_path / "store"
+        cache = ResultCache(root)
+        cell = VerdictSpec(get_test("mp"), "sc")
+        cache.store(cell, True)
+        for entry in root.iterdir():
+            entry.unlink()
+        root.rmdir()  # a concurrent purge removed the whole directory
+        cache.store(cell, True)
+        assert cache.load(cell) is True
+
+
+class TestCacheTransfer:
+    def _warm(self, root):
+        cells = _verdict_cells("mp", "dekker")
+        evaluate_cells(cells, cache_dir=str(root))
+        return cells
+
+    def test_export_import_round_trip(self, tmp_path):
+        source, target = tmp_path / "src", tmp_path / "dst"
+        cells = self._warm(source)
+        tarball = tmp_path / "store.tar.gz"
+        assert ResultCache(source).export_tarball(tarball) == len(cells)
+        imported = ResultCache(target)
+        assert imported.import_tarball(tarball) == (len(cells), 0)
+        for cell in cells:
+            assert imported.load(cell) == evaluate_cells([cell])[0]
+        # a second import is a no-op, not a conflict
+        assert imported.import_tarball(tarball) == (0, len(cells))
+
+    def test_export_is_deterministic(self, tmp_path):
+        # gzip headers carry the archive's own name/mtime, so compare the
+        # *tar contents*: member order, metadata and payload bytes.
+        self._warm(tmp_path / "store")
+        cache = ResultCache(tmp_path / "store")
+        cache.export_tarball(tmp_path / "a.tar.gz")
+        cache.export_tarball(tmp_path / "b.tar.gz")
+
+        def _members(path):
+            with tarfile.open(path, "r:gz") as tar:
+                return [
+                    (m.name, m.mtime, m.mode, tar.extractfile(m).read())
+                    for m in tar.getmembers()
+                ]
+
+        first = _members(tmp_path / "a.tar.gz")
+        assert first == _members(tmp_path / "b.tar.gz")
+        assert all(mtime == 0 for _, mtime, _, _ in first)
+
+    def test_engine_version_mismatch_is_refused(self, tmp_path, monkeypatch):
+        self._warm(tmp_path / "store")
+        tarball = tmp_path / "store.tar.gz"
+        import repro.engine.cache as cache_module
+
+        monkeypatch.setattr(cache_module, "ENGINE_VERSION", 999)
+        ResultCache(tmp_path / "store").export_tarball(tarball)
+        monkeypatch.undo()
+        with pytest.raises(CacheTransferError, match="engine version 999"):
+            ResultCache(tmp_path / "dst").import_tarball(tarball)
+
+    def _craft(self, path, manifest, blobs):
+        with tarfile.open(path, "w:gz") as tar:
+            for name, data in [("manifest.json", json.dumps(manifest).encode())] + blobs:
+                info = tarfile.TarInfo(name)
+                info.size = len(data)
+                tar.addfile(info, io.BytesIO(data))
+
+    def test_corrupt_and_hostile_archives_are_refused(self, tmp_path):
+        target = ResultCache(tmp_path / "dst")
+        base = {"format": 1, "engine_version": ENGINE_VERSION}
+        bad_digest = tmp_path / "bad-digest.tar.gz"
+        self._craft(
+            bad_digest,
+            {**base, "entries": {"ab12.json": "0" * 64}},
+            [("ab12.json", b"{}")],
+        )
+        with pytest.raises(CacheTransferError, match="digest mismatch"):
+            target.import_tarball(bad_digest)
+
+        traversal = tmp_path / "traversal.tar.gz"
+        self._craft(traversal, {**base, "entries": {"../evil.json": "0" * 64}}, [])
+        with pytest.raises(CacheTransferError, match="not a cache key"):
+            target.import_tarball(traversal)
+
+        missing = tmp_path / "missing-entry.tar.gz"
+        self._craft(missing, {**base, "entries": {"ab12.json": "0" * 64}}, [])
+        with pytest.raises(CacheTransferError, match="missing from archive"):
+            target.import_tarball(missing)
+
+        no_manifest = tmp_path / "no-manifest.tar.gz"
+        with tarfile.open(no_manifest, "w:gz") as tar:
+            info = tarfile.TarInfo("ab12.json")
+            info.size = 2
+            tar.addfile(info, io.BytesIO(b"{}"))
+        with pytest.raises(CacheTransferError, match="not a cache export"):
+            target.import_tarball(no_manifest)
+
+        assert target.stats().entries == 0  # nothing was half-imported
